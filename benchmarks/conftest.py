@@ -1,0 +1,62 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper at a reduced
+("bench") scale so the full suite finishes in tens of minutes on a CPU.  The
+rendered paper-style tables are written to ``results/<experiment>.txt`` so they
+can be compared against the paper after the run (see EXPERIMENTS.md).
+
+Set ``REPRO_SCALE=paper`` and run ``python -m repro.bench run all`` for the
+larger configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.bench.scales import SMOKE, ExperimentScale
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: Reduced scale used by the pytest benchmarks (one notch below SMOKE).
+BENCH_SCALE: ExperimentScale = dataclasses.replace(
+    SMOKE,
+    name="bench",
+    dmv_rows=9_000,
+    conviva_a_rows=7_000,
+    conviva_b_rows=600,
+    num_queries=70,
+    ood_queries=60,
+    naru_epochs=10,
+    naru_hidden=(96, 96),
+    naru_batch_size=128,
+    naru_samples=(500, 1000),
+    mscn_training_queries=180,
+    mscn_epochs=12,
+    kde_sample=500,
+    kde_feedback_queries=30,
+    latency_queries=30,
+    training_curve_epochs=4,
+    training_curve_queries=20,
+    oracle_queries=25,
+    shift_queries=30,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: str, name: str, text: str) -> None:
+    """Persist the paper-style rendering of one experiment."""
+    with open(os.path.join(results_dir, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")

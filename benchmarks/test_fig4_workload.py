@@ -1,0 +1,21 @@
+"""Figure 4 — distribution of query selectivities produced by the generator."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.bench import figure4_selectivity_distribution
+
+
+def test_figure4_selectivity_distribution(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(figure4_selectivity_distribution,
+                                kwargs={"scale": bench_scale}, iterations=1, rounds=1)
+    save_report(results_dir, "figure4_workload", result["text"])
+
+    for dataset, data in result["results"].items():
+        fractions = data["bucket_fractions"]
+        # The generator covers the whole selectivity spectrum (the paper's goal):
+        # every bucket is populated and low-selectivity queries are plentiful.
+        assert fractions["low"] > 0.1, dataset
+        assert fractions["high"] > 0.05, dataset
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9

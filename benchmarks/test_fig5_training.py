@@ -1,0 +1,20 @@
+"""Figure 5 — training time vs model quality (entropy gap and max error)."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.bench import figure5_training_quality
+
+
+def test_figure5_training_quality(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(figure5_training_quality, kwargs={"scale": bench_scale},
+                                iterations=1, rounds=1)
+    save_report(results_dir, "figure5_training", result["text"])
+
+    for dataset, curve in result["results"].items():
+        gaps = [point["entropy_gap_bits"] for point in curve]
+        # The entropy gap shrinks as training progresses (allowing small noise).
+        assert gaps[-1] <= gaps[0] + 0.25, dataset
+        # Estimation quality at the end of training is sane.
+        assert curve[-1]["median_error"] < 50.0, dataset

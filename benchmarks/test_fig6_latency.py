@@ -1,0 +1,23 @@
+"""Figure 6 — per-query estimation latency of every estimator."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.bench import figure6_estimation_latency
+
+
+def test_figure6_estimation_latency(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(figure6_estimation_latency, kwargs={"scale": bench_scale},
+                                iterations=1, rounds=1)
+    save_report(results_dir, "figure6_latency", result["text"])
+
+    latencies = result["latencies"]
+    naru_name = f"Naru-{bench_scale.naru_samples[-1]}"
+
+    # Every estimator answers in sub-second time at the median on the bench scale.
+    for name, quantiles in latencies.items():
+        assert quantiles[0.5] < 2_000.0, name
+    # More progressive samples cost more time (monotone within noise).
+    small_name = f"Naru-{bench_scale.naru_samples[0]}"
+    assert latencies[naru_name][0.5] >= 0.5 * latencies[small_name][0.5]

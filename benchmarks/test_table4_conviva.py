@@ -1,0 +1,24 @@
+"""Table 4 — estimation errors on the Conviva-A dataset."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.bench import table4_conviva_accuracy
+
+
+def test_table4_conviva_accuracy(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(table4_conviva_accuracy, kwargs={"scale": bench_scale},
+                                iterations=1, rounds=1)
+    save_report(results_dir, "table4_conviva", result["text"])
+
+    buckets = result["buckets"]
+    naru_name = f"Naru-{bench_scale.naru_samples[-1]}"
+
+    # Naru's median error stays in the low single digits across buckets.
+    for bucket in ("high", "medium"):
+        assert buckets[naru_name][bucket].median < 10.0
+
+    # Naru's low-selectivity tail is no worse than the classical DBMS-style baseline.
+    naru_low_max = buckets[naru_name]["low"].maximum
+    assert naru_low_max <= buckets["DBMS-1"]["low"].maximum * 2.0 or naru_low_max < 15.0

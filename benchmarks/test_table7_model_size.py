@@ -1,0 +1,22 @@
+"""Table 7 — model size vs entropy gap on Conviva-A."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.bench import table7_model_size
+
+
+def test_table7_model_size(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        table7_model_size,
+        kwargs={"scale": bench_scale, "widths": (32, 64, 128), "epochs": 3},
+        iterations=1, rounds=1)
+    save_report(results_dir, "table7_model_size", result["text"])
+
+    sizes = [entry["size_mb"] for entry in result["results"].values()]
+    gaps = [entry["entropy_gap_bits"] for entry in result["results"].values()]
+    # Larger architectures are larger on disk ...
+    assert sizes == sorted(sizes)
+    # ... and the largest model fits the data at least as well as the smallest.
+    assert gaps[-1] <= gaps[0] + 0.25

@@ -1,0 +1,68 @@
+"""Handling data shifts: stale vs periodically refreshed estimators (§6.7.3).
+
+The relation grows one partition at a time (think "one new day of data").  A
+stale estimator keeps the model it learned on day one; a refreshed estimator
+receives a quick fine-tuning pass after every ingest.  The example prints how
+the worst-case error of each evolves — a miniature of the paper's Table 8.
+
+Run with::
+
+    python examples/data_refresh.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import NaruConfig, NaruEstimator
+from repro.data import make_dmv, partition_by_column
+from repro.query import WorkloadGenerator, q_error, true_selectivity
+
+
+def encode_with_full_dictionary(full_table, part):
+    """Encode a partition's rows with the full table's dictionaries."""
+    return np.stack([
+        np.searchsorted(full_table.column(name).domain, part.column(name).values)
+        for name in full_table.column_names
+    ], axis=1)
+
+
+def main() -> None:
+    table = make_dmv(num_rows=10_000)
+    partitions = partition_by_column(table, "valid_date", 5)
+
+    config = NaruConfig(epochs=0, hidden_sizes=(96, 96), batch_size=128,
+                        progressive_samples=800)
+    stale = NaruEstimator(table, config)
+    refreshed = NaruEstimator(table, config)
+
+    first = encode_with_full_dictionary(table, partitions[0])
+    for estimator in (stale, refreshed):
+        estimator.refresh(first, epochs=10)
+        estimator._fitted = True
+
+    queries = WorkloadGenerator(partitions[0], min_filters=5, max_filters=11,
+                                seed=11).generate(30)
+
+    visible = partitions[0]
+    visible_codes = first
+    print(f"{'ingested':>9} {'stale max':>12} {'refreshed max':>15}")
+    for index, part in enumerate(partitions):
+        if index > 0:
+            visible = visible.concat(part)
+            visible_codes = np.concatenate(
+                [visible_codes, encode_with_full_dictionary(table, part)])
+            refreshed.refresh(visible_codes, epochs=1)
+        for estimator in (stale, refreshed):
+            estimator.set_row_count(visible.num_rows)
+
+        errors = {"stale": [], "refreshed": []}
+        for query in queries:
+            truth = true_selectivity(visible, query) * visible.num_rows
+            errors["stale"].append(q_error(stale.estimate_cardinality(query), truth))
+            errors["refreshed"].append(q_error(refreshed.estimate_cardinality(query), truth))
+        print(f"{index + 1:>9} {max(errors['stale']):>12.1f} {max(errors['refreshed']):>15.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: train a Naru estimator and compare its estimates to the truth.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import NaruConfig, NaruEstimator
+from repro.data import make_census
+from repro.query import Query, WorkloadGenerator, q_error, true_cardinality
+
+
+def main() -> None:
+    # 1. Get a relation.  Any Table works: synthetic generators, read_csv(), or
+    #    a materialised join.  Here we use the census-like generator.
+    table = make_census(num_rows=8_000)
+    print(f"Relation: {table} (joint space ~10^{table.log_joint_size():.0f})")
+
+    # 2. Build and train the estimator.  Training is unsupervised: Naru only
+    #    reads tuples, no queries or feedback are involved.
+    config = NaruConfig(epochs=10, hidden_sizes=(96, 96), batch_size=128,
+                        progressive_samples=1000)
+    naru = NaruEstimator(table, config)
+    history = naru.fit()
+    print(f"Trained {history.num_epochs} epochs; "
+          f"final loss {history.epoch_losses_bits[-1]:.2f} bits/tuple; "
+          f"entropy gap {naru.entropy_gap_bits():.2f} bits; "
+          f"model size {naru.size_bytes() / 1e6:.2f} MB")
+
+    # 3. Ask it questions.  A hand-written query:
+    query = Query.from_tuples([
+        ("sex", "=", "sex_0"),
+        ("age", "<=", int(table.column("age").domain[40])),
+        ("education", "=", "education_0"),
+    ])
+    estimate = naru.estimate_cardinality(query)
+    actual = true_cardinality(table, query)
+    print(f"\nQuery: {query}")
+    print(f"  estimated cardinality: {estimate:8.1f}")
+    print(f"  actual cardinality:    {actual:8d}")
+    print(f"  q-error:               {q_error(estimate, actual):8.2f}")
+
+    # 4. And a random multi-filter workload:
+    print("\nRandom 5-8 filter workload:")
+    generator = WorkloadGenerator(table, min_filters=5, max_filters=8, seed=7)
+    for item in generator.generate_labeled(5):
+        estimate = naru.estimate_cardinality(item.query)
+        print(f"  true={item.cardinality:6d}  est={estimate:9.1f}  "
+              f"q-error={q_error(estimate, item.cardinality):6.2f}   {item.query}")
+
+
+if __name__ == "__main__":
+    main()

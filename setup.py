@@ -1,0 +1,10 @@
+"""Compatibility shim so `pip install -e .` also works on older tooling.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so editable installs succeed in offline environments whose setuptools
+lacks PEP 660 support (use ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

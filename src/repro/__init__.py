@@ -1,0 +1,45 @@
+"""repro — reproduction of "Deep Unsupervised Cardinality Estimation" (Naru).
+
+The package is organised into five sub-systems:
+
+* :mod:`repro.nn`          — NumPy neural-network substrate (autograd, MADE, Adam),
+* :mod:`repro.data`        — relational tables, synthetic datasets, joins,
+* :mod:`repro.query`       — predicates, workload generation, exact execution, q-error,
+* :mod:`repro.core`        — the Naru estimator: likelihood models + progressive sampling,
+* :mod:`repro.estimators`  — classical and learned baselines,
+* :mod:`repro.bench`       — the experiment harness reproducing every table and figure.
+
+Quickstart::
+
+    from repro.data import make_dmv
+    from repro.core import NaruEstimator, NaruConfig
+    from repro.query import WorkloadGenerator, q_error
+
+    table = make_dmv(num_rows=20_000)
+    naru = NaruEstimator(table, NaruConfig(epochs=3))
+    naru.fit()
+    query = WorkloadGenerator(table, seed=1).generate_query()
+    print(naru.estimate_cardinality(query))
+"""
+
+from .core import NaruConfig, NaruEstimator
+from .data import Table, make_census, make_conviva_a, make_conviva_b, make_dmv
+from .query import Operator, Predicate, Query, WorkloadGenerator, q_error
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NaruEstimator",
+    "NaruConfig",
+    "Table",
+    "make_dmv",
+    "make_conviva_a",
+    "make_conviva_b",
+    "make_census",
+    "Query",
+    "Predicate",
+    "Operator",
+    "WorkloadGenerator",
+    "q_error",
+    "__version__",
+]

@@ -1,0 +1,547 @@
+"""One reproduction function per table and figure of the paper's evaluation.
+
+Every function is self-contained: it generates the (synthetic) dataset,
+builds and trains the relevant estimators, runs the workload, and returns a
+dictionary holding the structured results plus a ``text`` field with a
+paper-style rendering.  The functions are what the ``benchmarks/`` suite and
+the ``python -m repro.bench`` command line call.
+
+Experiment ↔ paper mapping:
+
+========================  =====================================================
+``figure4_*``             Figure 4 — query selectivity distribution
+``table3_*``              Table 3  — accuracy on DMV, all estimator families
+``table4_*``              Table 4  — accuracy on Conviva-A
+``table5_*``              Table 5  — robustness to out-of-distribution queries
+``figure5_*``             Figure 5 — training time vs model quality
+``figure6_*``             Figure 6 — estimation latency
+``table6_*``              Table 6  — query-region size vs enumeration latency
+``table7_*``              Table 7  — model size vs entropy gap
+``figure7_*``             Figure 7 — robustness to model entropy gap (oracle)
+``figure8_*``             Figure 8 — robustness to column count (oracle)
+``table8_*``              Table 8  — robustness to data shifts
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core import (
+    MADEModel,
+    NaruConfig,
+    NaruEstimator,
+    NoisyOracleModel,
+    OracleModel,
+    ProgressiveSampler,
+    Trainer,
+)
+from ..data import Table, make_conviva_a, make_conviva_b, make_dmv, partition_by_column
+from ..estimators import (
+    CardinalityEstimator,
+    ChowLiuEstimator,
+    DBMS1Estimator,
+    IndependenceEstimator,
+    KDEEstimator,
+    KDESupervEstimator,
+    MSCNEstimator,
+    MultiDimHistogramEstimator,
+    PostgresEstimator,
+    SamplingEstimator,
+)
+from ..query import (
+    LabeledQuery,
+    OODWorkloadGenerator,
+    Query,
+    WorkloadGenerator,
+    q_error,
+    summarize_errors,
+    true_selectivity,
+)
+from .harness import accuracy_by_bucket, compare_estimators, run_estimator
+from .reports import (
+    format_accuracy_table,
+    format_latency_table,
+    format_series,
+    format_summary_table,
+)
+from .scales import ExperimentScale, active_scale
+
+__all__ = [
+    "NaruSampleVariant",
+    "figure4_selectivity_distribution",
+    "table3_dmv_accuracy",
+    "table4_conviva_accuracy",
+    "table5_ood_robustness",
+    "figure5_training_quality",
+    "figure6_estimation_latency",
+    "table6_query_region",
+    "table7_model_size",
+    "figure7_entropy_gap",
+    "figure8_column_scaling",
+    "table8_data_shift",
+]
+
+
+class NaruSampleVariant(CardinalityEstimator):
+    """A view of a trained Naru model queried with a fixed sample budget.
+
+    The paper's ``Naru-1000`` / ``Naru-2000`` / ``Naru-4000`` rows all use the
+    *same* trained model and only vary the number of progressive-sampling
+    paths; this wrapper reproduces that without retraining.
+    """
+
+    def __init__(self, base: NaruEstimator, num_samples: int) -> None:
+        super().__init__(base.table)
+        self.base = base
+        self.num_samples = num_samples
+        self.name = f"Naru-{num_samples}"
+
+    def estimate_selectivity(self, query: Query) -> float:
+        return self.base.estimate_selectivity(query, num_samples=self.num_samples,
+                                              method="progressive")
+
+    def size_bytes(self) -> int:
+        return self.base.size_bytes()
+
+
+# --------------------------------------------------------------------------- #
+# Shared builders
+# --------------------------------------------------------------------------- #
+def _train_naru(table: Table, scale: ExperimentScale, seed: int = 0) -> NaruEstimator:
+    config = NaruConfig(hidden_sizes=scale.naru_hidden, epochs=scale.naru_epochs,
+                        batch_size=scale.naru_batch_size,
+                        progressive_samples=scale.naru_samples[-1], seed=seed)
+    estimator = NaruEstimator(table, config)
+    estimator.fit()
+    return estimator
+
+
+def _workload(table: Table, count: int, seed: int = 100,
+              ood: bool = False) -> list[LabeledQuery]:
+    generator_cls = OODWorkloadGenerator if ood else WorkloadGenerator
+    generator = generator_cls(table, min_filters=5, max_filters=min(11, table.num_columns),
+                              seed=seed)
+    return generator.generate_labeled(count)
+
+
+def _build_dmv_estimator_suite(table: Table, scale: ExperimentScale,
+                               training_workload: list[LabeledQuery],
+                               naru: NaruEstimator) -> list[CardinalityEstimator]:
+    """All estimator families of Table 2, built under comparable budgets."""
+    budget = naru.size_bytes()
+    estimators: list[CardinalityEstimator] = [
+        MultiDimHistogramEstimator(table, storage_budget_bytes=max(budget, 64_000)),
+        IndependenceEstimator(table),
+        PostgresEstimator(table),
+        DBMS1Estimator(table),
+        ChowLiuEstimator(table),
+        SamplingEstimator(table, fraction=scale.sample_fraction, seed=1),
+        KDEEstimator(table, sample_size=scale.kde_sample, seed=2),
+    ]
+
+    kde_superv = KDESupervEstimator(table, sample_size=scale.kde_sample, seed=2)
+    feedback = [(item.query, item.cardinality)
+                for item in training_workload[:scale.kde_feedback_queries]]
+    kde_superv.fit_feedback(feedback, passes=1)
+    estimators.append(kde_superv)
+
+    mscn_base = MSCNEstimator(table, sample_size=1000, seed=3, name="MSCN-base")
+    mscn_base.fit(training_workload, epochs=scale.mscn_epochs)
+    estimators.append(mscn_base)
+
+    mscn_zero = MSCNEstimator(table, sample_size=0, seed=3, name="MSCN-0")
+    mscn_zero.fit(training_workload, epochs=scale.mscn_epochs)
+    estimators.append(mscn_zero)
+
+    estimators.extend(NaruSampleVariant(naru, samples) for samples in scale.naru_samples)
+    return estimators
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4 — query selectivity distribution
+# --------------------------------------------------------------------------- #
+def figure4_selectivity_distribution(scale: ExperimentScale | None = None) -> dict:
+    """Reproduce Figure 4: the CDF of true selectivities of the workload."""
+    scale = scale or active_scale()
+    results = {}
+    rows = []
+    for name, table in (("DMV", make_dmv(scale.dmv_rows)),
+                        ("Conviva-A", make_conviva_a(scale.conviva_a_rows))):
+        workload = _workload(table, scale.num_queries, seed=100)
+        selectivities = np.array([item.selectivity for item in workload])
+        quantiles = {f"p{int(q * 100)}": float(np.quantile(selectivities, q))
+                     for q in (0.1, 0.25, 0.5, 0.75, 0.9)}
+        buckets = {
+            "high": float((selectivities > 0.02).mean()),
+            "medium": float(((selectivities > 0.005) & (selectivities <= 0.02)).mean()),
+            "low": float((selectivities <= 0.005).mean()),
+        }
+        results[name] = {"quantiles": quantiles, "bucket_fractions": buckets}
+        rows.append({"dataset": name, **quantiles, **{f"frac_{k}": v for k, v in buckets.items()}})
+    text = format_series(rows, list(rows[0].keys()),
+                         "Figure 4: distribution of query selectivities")
+    return {"results": results, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Tables 3 and 4 — headline accuracy comparisons
+# --------------------------------------------------------------------------- #
+def table3_dmv_accuracy(scale: ExperimentScale | None = None) -> dict:
+    """Reproduce Table 3: q-error quantiles of every estimator family on DMV."""
+    scale = scale or active_scale()
+    table = make_dmv(scale.dmv_rows)
+    naru = _train_naru(table, scale, seed=0)
+    training_workload = _workload(table, scale.mscn_training_queries, seed=7)
+    test_workload = _workload(table, scale.num_queries, seed=100)
+
+    estimators = _build_dmv_estimator_suite(table, scale, training_workload, naru)
+    runs = compare_estimators(estimators, test_workload)
+    buckets = accuracy_by_bucket(runs)
+    text = format_accuracy_table(buckets, "Table 3: estimation errors on DMV (synthetic)")
+    return {"runs": runs, "buckets": buckets, "text": text, "naru": naru, "table": table}
+
+
+def table4_conviva_accuracy(scale: ExperimentScale | None = None) -> dict:
+    """Reproduce Table 4: accuracy on Conviva-A for the promising baselines."""
+    scale = scale or active_scale()
+    table = make_conviva_a(scale.conviva_a_rows)
+    naru = _train_naru(table, scale, seed=1)
+    training_workload = _workload(table, scale.mscn_training_queries, seed=8)
+    test_workload = _workload(table, scale.num_queries, seed=200)
+
+    estimators: list[CardinalityEstimator] = [
+        DBMS1Estimator(table),
+        SamplingEstimator(table, fraction=scale.sample_fraction, seed=1),
+        KDEEstimator(table, sample_size=scale.kde_sample, seed=2),
+    ]
+    kde_superv = KDESupervEstimator(table, sample_size=scale.kde_sample, seed=2)
+    kde_superv.fit_feedback([(item.query, item.cardinality)
+                             for item in training_workload[:scale.kde_feedback_queries]],
+                            passes=1)
+    estimators.append(kde_superv)
+    mscn = MSCNEstimator(table, sample_size=1000, seed=3, name="MSCN-base")
+    mscn.fit(training_workload, epochs=scale.mscn_epochs)
+    estimators.append(mscn)
+    estimators.extend(NaruSampleVariant(naru, samples) for samples in scale.naru_samples)
+
+    runs = compare_estimators(estimators, test_workload)
+    buckets = accuracy_by_bucket(runs)
+    text = format_accuracy_table(buckets, "Table 4: estimation errors on Conviva-A (synthetic)")
+    return {"runs": runs, "buckets": buckets, "text": text, "naru": naru, "table": table}
+
+
+# --------------------------------------------------------------------------- #
+# Table 5 — out-of-distribution robustness
+# --------------------------------------------------------------------------- #
+def table5_ood_robustness(scale: ExperimentScale | None = None) -> dict:
+    """Reproduce Table 5: literals drawn from the full domain (mostly empty)."""
+    scale = scale or active_scale()
+    table = make_dmv(scale.dmv_rows)
+    naru = _train_naru(table, scale, seed=0)
+    training_workload = _workload(table, scale.mscn_training_queries, seed=7)
+    ood_workload = _workload(table, scale.ood_queries, seed=300, ood=True)
+
+    mscn = MSCNEstimator(table, sample_size=1000, seed=3, name="MSCN-base")
+    mscn.fit(training_workload, epochs=scale.mscn_epochs)
+    kde_superv = KDESupervEstimator(table, sample_size=scale.kde_sample, seed=2)
+    kde_superv.fit_feedback([(item.query, item.cardinality)
+                             for item in training_workload[:scale.kde_feedback_queries]],
+                            passes=1)
+    estimators: list[CardinalityEstimator] = [
+        mscn,
+        kde_superv,
+        SamplingEstimator(table, fraction=scale.sample_fraction, seed=1),
+        NaruSampleVariant(naru, scale.naru_samples[-1]),
+    ]
+    runs = compare_estimators(estimators, ood_workload)
+    summaries = {name: run.overall_summary() for name, run in runs.items()}
+    zero_fraction = float(np.mean([item.cardinality == 0 for item in ood_workload]))
+    text = format_summary_table(
+        summaries,
+        f"Table 5: robustness to OOD queries ({zero_fraction:.0%} have zero cardinality)")
+    return {"runs": runs, "summaries": summaries, "zero_fraction": zero_fraction, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5 — training time vs quality
+# --------------------------------------------------------------------------- #
+def figure5_training_quality(scale: ExperimentScale | None = None) -> dict:
+    """Reproduce Figure 5: entropy gap and max q-error per training epoch."""
+    scale = scale or active_scale()
+    results = {}
+    rows = []
+    for name, table, seed in (("DMV", make_dmv(scale.dmv_rows), 0),
+                              ("Conviva-A", make_conviva_a(scale.conviva_a_rows), 1)):
+        workload = _workload(table, scale.training_curve_queries, seed=400 + seed)
+        config = NaruConfig(hidden_sizes=scale.naru_hidden, epochs=0,
+                            batch_size=scale.naru_batch_size,
+                            progressive_samples=scale.naru_samples[-1], seed=seed)
+        estimator = NaruEstimator(table, config)
+        estimator._fitted = True  # evaluated after each manual epoch below
+        per_epoch = []
+        for epoch in range(1, scale.training_curve_epochs + 1):
+            start = time.perf_counter()
+            estimator.trainer.train_epoch()
+            epoch_seconds = time.perf_counter() - start
+            gap = estimator.entropy_gap_bits(sample_rows=2048)
+            errors = [q_error(estimator.estimate_cardinality(item.query), item.cardinality)
+                      for item in workload]
+            per_epoch.append({
+                "dataset": name, "epoch": epoch, "epoch_seconds": epoch_seconds,
+                "entropy_gap_bits": gap, "max_error": float(max(errors)),
+                "median_error": float(np.median(errors)),
+            })
+            rows.append(per_epoch[-1])
+        results[name] = per_epoch
+    text = format_series(rows, ["dataset", "epoch", "epoch_seconds",
+                                "entropy_gap_bits", "median_error", "max_error"],
+                         "Figure 5: training time vs quality")
+    return {"results": results, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6 and Table 6 — latency
+# --------------------------------------------------------------------------- #
+def figure6_estimation_latency(scale: ExperimentScale | None = None) -> dict:
+    """Reproduce Figure 6: per-query estimation latency of each estimator."""
+    scale = scale or active_scale()
+    table = make_dmv(scale.dmv_rows)
+    naru = _train_naru(table, scale, seed=0)
+    training_workload = _workload(table, min(scale.mscn_training_queries, 200), seed=7)
+    workload = _workload(table, scale.latency_queries, seed=500)
+
+    mscn = MSCNEstimator(table, sample_size=1000, seed=3, name="MSCN-base")
+    mscn.fit(training_workload, epochs=max(scale.mscn_epochs // 2, 3))
+    estimators: list[CardinalityEstimator] = [
+        PostgresEstimator(table),
+        DBMS1Estimator(table),
+        SamplingEstimator(table, fraction=scale.sample_fraction, seed=1),
+        KDEEstimator(table, sample_size=scale.kde_sample, seed=2),
+        mscn,
+    ]
+    estimators.extend(NaruSampleVariant(naru, samples) for samples in scale.naru_samples)
+
+    runs = compare_estimators(estimators, workload)
+    latencies = {name: run.latency_quantiles() for name, run in runs.items()}
+    text = format_latency_table(latencies, "Figure 6: estimation latency (ms, CPU)")
+    return {"latencies": latencies, "runs": runs, "text": text,
+            "naru": naru, "table": table, "workload": workload}
+
+
+def table6_query_region(scale: ExperimentScale | None = None) -> dict:
+    """Reproduce Table 6: query-region sizes vs enumeration vs Naru latency."""
+    scale = scale or active_scale()
+    rows = []
+    results = {}
+    for name, table, seed in (("DMV", make_dmv(scale.dmv_rows), 0),
+                              ("Conviva-A", make_conviva_a(scale.conviva_a_rows), 1)):
+        workload = _workload(table, scale.num_queries, seed=600 + seed)
+        region_sizes = np.array([item.query.region_size(table) for item in workload])
+        region_p99 = float(np.quantile(region_sizes, 0.99))
+
+        # Throughput of exact enumeration: points/second through the model.
+        model = MADEModel(table, hidden_sizes=scale.naru_hidden, seed=seed)
+        probe = table.sample_rows(2048, np.random.default_rng(0))
+        start = time.perf_counter()
+        model.log_prob(probe)
+        per_point_seconds = (time.perf_counter() - start) / probe.shape[0]
+        enumeration_hours = region_p99 * per_point_seconds / 3600.0
+
+        # Measured progressive-sampling latency on the same model.
+        sampler = ProgressiveSampler(model, seed=0)
+        hard_query = workload[int(np.argmax(region_sizes))].query
+        start = time.perf_counter()
+        sampler.estimate_selectivity(hard_query.column_masks(table),
+                                     num_samples=scale.naru_samples[-1])
+        naru_ms = (time.perf_counter() - start) * 1000.0
+
+        results[name] = {"region_size_p99": region_p99,
+                         "enumeration_hours_estimated": enumeration_hours,
+                         "naru_latency_ms": naru_ms}
+        rows.append({"dataset": name, "region_p99": region_p99,
+                     "enum_hours_est": enumeration_hours, "naru_ms": naru_ms})
+    text = format_series(rows, ["dataset", "region_p99", "enum_hours_est", "naru_ms"],
+                         "Table 6: query region size vs enumeration vs progressive sampling")
+    return {"results": results, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Table 7 — model size vs entropy gap
+# --------------------------------------------------------------------------- #
+def table7_model_size(scale: ExperimentScale | None = None,
+                      widths: tuple[int, ...] = (32, 64, 128, 256),
+                      epochs: int | None = None) -> dict:
+    """Reproduce Table 7: larger hidden layers yield lower entropy gaps."""
+    scale = scale or active_scale()
+    epochs = epochs if epochs is not None else max(scale.naru_epochs // 2, 2)
+    table = make_conviva_a(scale.conviva_a_rows)
+    rows = []
+    results = {}
+    for width in widths:
+        hidden = (width,) * 4
+        model = MADEModel(table, hidden_sizes=hidden, seed=0)
+        trainer = Trainer(model, table, batch_size=scale.naru_batch_size,
+                          learning_rate=5e-3)
+        trainer.train(epochs=epochs)
+        gap = trainer.entropy_gap_bits(sample_rows=2048)
+        size_mb = model.size_bytes() / 1e6
+        results[width] = {"size_mb": size_mb, "entropy_gap_bits": gap}
+        rows.append({"architecture": "x".join([str(width)] * 4),
+                     "size_mb": size_mb, "entropy_gap_bits": gap})
+    text = format_series(rows, ["architecture", "size_mb", "entropy_gap_bits"],
+                         f"Table 7: model size vs entropy gap ({epochs} epochs, Conviva-A)")
+    return {"results": results, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Figures 7 and 8 — oracle-model micro-benchmarks
+# --------------------------------------------------------------------------- #
+def figure7_entropy_gap(scale: ExperimentScale | None = None,
+                        noise_levels: tuple[float, ...] = (0.0, 0.05, 0.2, 0.5, 0.9),
+                        sample_counts: tuple[int, ...] = (50, 250, 1000)) -> dict:
+    """Reproduce Figure 7: accuracy vs artificial entropy gap of an oracle model."""
+    scale = scale or active_scale()
+    table = make_conviva_b(scale.conviva_b_rows, num_columns=100).project(
+        [f"col_{i:03d}" for i in range(15)], name="conviva_b_15")
+    workload = _workload(table, scale.oracle_queries, seed=700)
+
+    baselines = {
+        "Indep": IndependenceEstimator(table),
+        "Sample(1%)": SamplingEstimator(table, fraction=0.01, seed=0),
+    }
+    baseline_errors = {
+        name: float(max(q_error(est.estimate_cardinality(item.query), item.cardinality)
+                        for item in workload))
+        for name, est in baselines.items()
+    }
+
+    rows = []
+    results = {"baselines": baseline_errors, "sweep": []}
+    for noise in noise_levels:
+        model = NoisyOracleModel(table, noise=noise)
+        gap = model.entropy_gap_bits(sample_rows=min(scale.conviva_b_rows, 1000))
+        entry = {"noise": noise, "entropy_gap_bits": gap}
+        for samples in sample_counts:
+            sampler = ProgressiveSampler(model, seed=0)
+            errors = []
+            for item in workload:
+                estimate = sampler.estimate_selectivity(item.query.column_masks(table),
+                                                        num_samples=samples)
+                errors.append(q_error(estimate * table.num_rows, item.cardinality))
+            entry[f"max_error_naru_{samples}"] = float(max(errors))
+        results["sweep"].append(entry)
+        rows.append(entry)
+    columns = ["noise", "entropy_gap_bits"] + [f"max_error_naru_{s}" for s in sample_counts]
+    text = format_series(rows, columns,
+                         "Figure 7: accuracy vs model entropy gap (oracle, 15 columns)")
+    text += ("\nBaselines (max error): "
+             + ", ".join(f"{k}={v:.1f}" for k, v in baseline_errors.items()))
+    return {**results, "text": text}
+
+
+def figure8_column_scaling(scale: ExperimentScale | None = None,
+                           column_counts: tuple[int, ...] = (5, 15, 30, 50, 75, 100),
+                           sample_counts: tuple[int, ...] = (100, 1000, 10_000)) -> dict:
+    """Reproduce Figure 8: progressive sampling as the column count grows."""
+    scale = scale or active_scale()
+    full = make_conviva_b(scale.conviva_b_rows, num_columns=max(column_counts))
+    rows = []
+    results = []
+    for num_columns in column_counts:
+        table = full.project([f"col_{i:03d}" for i in range(num_columns)],
+                             name=f"conviva_b_{num_columns}")
+        generator = WorkloadGenerator(table, min_filters=min(5, num_columns),
+                                      max_filters=min(12, num_columns), seed=800)
+        workload = generator.generate_labeled(scale.oracle_queries)
+        oracle = OracleModel(table)
+        baselines = {
+            "Indep": IndependenceEstimator(table),
+            "Sample(1%)": SamplingEstimator(table, fraction=0.01, seed=0),
+        }
+        entry = {"columns": num_columns,
+                 "log10_joint": table.log_joint_size()}
+        for samples in sample_counts:
+            sampler = ProgressiveSampler(oracle, seed=0)
+            errors = [q_error(sampler.estimate_selectivity(
+                item.query.column_masks(table), num_samples=samples) * table.num_rows,
+                item.cardinality) for item in workload]
+            entry[f"max_error_naru_{samples}"] = float(max(errors))
+        for name, estimator in baselines.items():
+            errors = [q_error(estimator.estimate_cardinality(item.query), item.cardinality)
+                      for item in workload]
+            entry[f"max_error_{name}"] = float(max(errors))
+        results.append(entry)
+        rows.append(entry)
+    columns = (["columns", "log10_joint"]
+               + [f"max_error_naru_{s}" for s in sample_counts]
+               + ["max_error_Indep", "max_error_Sample(1%)"])
+    text = format_series(rows, columns,
+                         "Figure 8: accuracy vs number of columns (oracle model)")
+    return {"results": results, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Table 8 — data shifts
+# --------------------------------------------------------------------------- #
+def table8_data_shift(scale: ExperimentScale | None = None) -> dict:
+    """Reproduce Table 8: stale vs refreshed Naru under partition-by-partition ingest."""
+    scale = scale or active_scale()
+    table = make_dmv(scale.dmv_rows)
+    partitions = partition_by_column(table, "valid_date", scale.shift_partitions)
+
+    # Both estimators are built against the *full-table* dictionaries (the
+    # paper's "domain from user annotation" route), then trained on partition 1.
+    config = NaruConfig(hidden_sizes=scale.naru_hidden, epochs=0,
+                        batch_size=scale.naru_batch_size,
+                        progressive_samples=scale.naru_samples[-1], seed=0)
+    stale = NaruEstimator(table, config)
+    refreshed = NaruEstimator(table, config.with_overrides(seed=0))
+    full_codes = table.encoded()
+
+    def partition_codes(part: Table) -> np.ndarray:
+        columns = [table.column(name) for name in table.column_names]
+        return np.stack([
+            np.searchsorted(column.domain, part.column(column.name).values)
+            for column in columns
+        ], axis=1)
+
+    first = partition_codes(partitions[0])
+    stale.refresh(first, epochs=scale.naru_epochs)
+    refreshed.refresh(first, epochs=scale.naru_epochs)
+    stale._fitted = refreshed._fitted = True
+
+    generator = WorkloadGenerator(partitions[0], min_filters=5,
+                                  max_filters=min(11, table.num_columns), seed=900)
+    queries = generator.generate(scale.shift_queries)
+
+    visible = partitions[0]
+    visible_codes = first
+    rows = []
+    results = []
+    for index in range(scale.shift_partitions):
+        if index > 0:
+            visible = visible.concat(partitions[index])
+            visible_codes = np.concatenate(
+                [visible_codes, partition_codes(partitions[index])])
+            refreshed.refresh(visible_codes, epochs=1)
+        for estimator in (stale, refreshed):
+            estimator.set_row_count(visible.num_rows)
+
+        entry = {"partitions_ingested": index + 1}
+        for label, estimator in (("stale", stale), ("refreshed", refreshed)):
+            errors = []
+            for query in queries:
+                truth = true_selectivity(visible, query) * visible.num_rows
+                errors.append(q_error(estimator.estimate_cardinality(query), truth))
+            summary = summarize_errors(errors)
+            entry[f"{label}_p90"] = float(np.quantile(errors, 0.90))
+            entry[f"{label}_max"] = summary.maximum
+        results.append(entry)
+        rows.append(entry)
+    text = format_series(rows, ["partitions_ingested", "refreshed_p90", "refreshed_max",
+                                "stale_p90", "stale_max"],
+                         "Table 8: robustness to data shifts (DMV partitioned by date)")
+    return {"results": results, "text": text}

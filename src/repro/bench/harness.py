@@ -1,0 +1,81 @@
+"""Benchmark harness: run estimators over labelled workloads and collect metrics.
+
+The harness is deliberately estimator-agnostic: anything implementing
+:class:`repro.estimators.base.CardinalityEstimator` can be measured.  For every
+query it records the q-error, the true selectivity (for bucketing as in the
+paper's tables) and the wall-clock estimation latency (for Figure 6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..estimators.base import CardinalityEstimator
+from ..query.generator import LabeledQuery
+from ..query.metrics import ErrorSummary, bucketize, q_error, summarize_errors
+
+__all__ = ["EstimatorRun", "run_estimator", "compare_estimators", "accuracy_by_bucket"]
+
+
+@dataclass
+class EstimatorRun:
+    """Per-query results of one estimator over one workload."""
+
+    name: str
+    errors: list[float] = field(default_factory=list)
+    selectivities: list[float] = field(default_factory=list)
+    latencies_ms: list[float] = field(default_factory=list)
+    size_bytes: int = 0
+
+    # ------------------------------------------------------------------ #
+    def overall_summary(self) -> ErrorSummary:
+        """Quantile summary of q-errors over the full workload."""
+        return summarize_errors(self.errors)
+
+    def bucket_summaries(self) -> Mapping[str, ErrorSummary]:
+        """Quantile summaries grouped by true-selectivity bucket."""
+        return bucketize(self.errors, self.selectivities)
+
+    def latency_quantiles(self, quantiles=(0.5, 0.95, 0.99)) -> dict[float, float]:
+        """Latency quantiles in milliseconds."""
+        values = np.asarray(self.latencies_ms)
+        return {q: float(np.quantile(values, q)) for q in quantiles}
+
+    def max_error(self) -> float:
+        """Worst-case q-error (the paper's headline robustness number)."""
+        return float(max(self.errors)) if self.errors else float("nan")
+
+
+def run_estimator(estimator: CardinalityEstimator,
+                  workload: Sequence[LabeledQuery]) -> EstimatorRun:
+    """Evaluate one estimator on a labelled workload.
+
+    Every query is timed individually; the q-error is computed against the
+    exact cardinality carried by the :class:`LabeledQuery`.
+    """
+    run = EstimatorRun(name=estimator.name, size_bytes=estimator.size_bytes())
+    for item in workload:
+        start = time.perf_counter()
+        estimate = estimator.estimate_cardinality(item.query)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        run.errors.append(q_error(estimate, item.cardinality))
+        run.selectivities.append(item.selectivity)
+        run.latencies_ms.append(elapsed_ms)
+    return run
+
+
+def compare_estimators(estimators: Sequence[CardinalityEstimator],
+                       workload: Sequence[LabeledQuery]) -> dict[str, EstimatorRun]:
+    """Run several estimators over the same workload."""
+    return {estimator.name: run_estimator(estimator, workload)
+            for estimator in estimators}
+
+
+def accuracy_by_bucket(runs: Mapping[str, EstimatorRun]
+                       ) -> dict[str, Mapping[str, ErrorSummary]]:
+    """Bucketised accuracy of several runs (the layout of Tables 3 and 4)."""
+    return {name: run.bucket_summaries() for name, run in runs.items()}

@@ -1,0 +1,106 @@
+"""Experiment scaling presets.
+
+The paper's evaluation uses millions of rows, 2,000 queries per workload and a
+GPU.  This reproduction trains NumPy models on a CPU, so every experiment
+accepts a :class:`ExperimentScale` that controls dataset sizes, query counts
+and training epochs.  Two presets are provided:
+
+* ``SMOKE``  — minutes-scale runs used by the pytest benchmarks and CI,
+* ``PAPER``  — larger runs closer to the published setup (hours on a laptop).
+
+The active preset defaults to ``SMOKE`` and can be switched with the
+``REPRO_SCALE`` environment variable (``smoke`` or ``paper``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "SMOKE", "PAPER", "active_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiments."""
+
+    name: str
+    dmv_rows: int
+    conviva_a_rows: int
+    conviva_b_rows: int
+    num_queries: int
+    ood_queries: int
+    naru_epochs: int
+    naru_hidden: tuple[int, ...]
+    naru_batch_size: int
+    naru_samples: tuple[int, ...]
+    mscn_training_queries: int
+    mscn_epochs: int
+    kde_sample: int
+    kde_feedback_queries: int
+    sample_fraction: float
+    latency_queries: int
+    training_curve_epochs: int
+    training_curve_queries: int
+    oracle_queries: int
+    shift_queries: int
+    shift_partitions: int
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    dmv_rows=12_000,
+    conviva_a_rows=9_000,
+    conviva_b_rows=700,
+    num_queries=100,
+    ood_queries=80,
+    naru_epochs=10,
+    naru_hidden=(128, 128),
+    naru_batch_size=128,
+    naru_samples=(500, 1000),
+    mscn_training_queries=250,
+    mscn_epochs=15,
+    kde_sample=600,
+    kde_feedback_queries=40,
+    sample_fraction=0.013,
+    latency_queries=40,
+    training_curve_epochs=5,
+    training_curve_queries=25,
+    oracle_queries=30,
+    shift_queries=40,
+    shift_partitions=5,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    dmv_rows=120_000,
+    conviva_a_rows=80_000,
+    conviva_b_rows=4_000,
+    num_queries=2_000,
+    ood_queries=2_000,
+    naru_epochs=20,
+    naru_hidden=(256, 256, 256),
+    naru_batch_size=512,
+    naru_samples=(1000, 2000, 4000),
+    mscn_training_queries=10_000,
+    mscn_epochs=40,
+    kde_sample=5_000,
+    kde_feedback_queries=500,
+    sample_fraction=0.013,
+    latency_queries=500,
+    training_curve_epochs=10,
+    training_curve_queries=200,
+    oracle_queries=50,
+    shift_queries=200,
+    shift_partitions=5,
+)
+
+
+def active_scale() -> ExperimentScale:
+    """Return the preset selected by the ``REPRO_SCALE`` environment variable."""
+    choice = os.environ.get("REPRO_SCALE", "smoke").lower()
+    if choice == "paper":
+        return PAPER
+    if choice == "smoke":
+        return SMOKE
+    raise ValueError(f"unknown REPRO_SCALE value {choice!r}; use 'smoke' or 'paper'")

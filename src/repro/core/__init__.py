@@ -1,0 +1,29 @@
+"""Naru core: autoregressive likelihood models, training and progressive sampling."""
+
+from .column_nets import ColumnNetworkModel
+from .config import NaruConfig
+from .encoding import ColumnCodec, TupleEncoder
+from .estimator import NaruEstimator
+from .made import AutoregressiveModel, MADEModel
+from .oracle import NoisyOracleModel, OracleModel
+from .progressive import ProgressiveSampler, UniformRegionSampler, enumerate_region
+from .training import Trainer, TrainingHistory, cross_entropy_bits, data_entropy_bits
+
+__all__ = [
+    "NaruConfig",
+    "NaruEstimator",
+    "AutoregressiveModel",
+    "MADEModel",
+    "ColumnNetworkModel",
+    "TupleEncoder",
+    "ColumnCodec",
+    "OracleModel",
+    "NoisyOracleModel",
+    "ProgressiveSampler",
+    "UniformRegionSampler",
+    "enumerate_region",
+    "Trainer",
+    "TrainingHistory",
+    "data_entropy_bits",
+    "cross_entropy_bits",
+]

@@ -1,0 +1,181 @@
+"""The Naru estimator: a deep likelihood model plus progressive sampling.
+
+This is the package's headline public API.  ``NaruEstimator`` wires together
+the pieces described in the paper:
+
+* an autoregressive density model over the dictionary-encoded relation
+  (masked MLP by default, per-column networks optionally — §3.2/§4.3),
+* column encoding/decoding strategies (§4.2),
+* unsupervised maximum-likelihood training (§4.1),
+* query answering by exact enumeration for small regions and progressive
+  sampling for everything else (§5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.table import Table
+from ..estimators.base import CardinalityEstimator
+from ..query.predicates import Query
+from .column_nets import ColumnNetworkModel
+from .config import NaruConfig
+from .made import MADEModel
+from .progressive import ProgressiveSampler, UniformRegionSampler, enumerate_region
+from .training import Trainer, TrainingHistory
+
+__all__ = ["NaruEstimator"]
+
+
+class NaruEstimator(CardinalityEstimator):
+    """Deep unsupervised cardinality estimator (Naru).
+
+    Parameters
+    ----------
+    table:
+        The relation to summarise.  Only its tuples are read; no queries or
+        feedback are needed.
+    config:
+        Hyper-parameters; see :class:`repro.core.config.NaruConfig`.
+
+    Examples
+    --------
+    >>> from repro.data import make_census
+    >>> from repro.core import NaruEstimator, NaruConfig
+    >>> from repro.query import Query
+    >>> table = make_census(num_rows=2000)
+    >>> naru = NaruEstimator(table, NaruConfig(epochs=1, hidden_sizes=(32, 32)))
+    >>> _ = naru.fit()
+    >>> query = Query.from_tuples([("sex", "=", "sex_0"), ("age", "<=", 40)])
+    >>> 0.0 <= naru.estimate_selectivity(query) <= 1.0
+    True
+    """
+
+    def __init__(self, table: Table, config: NaruConfig | None = None) -> None:
+        super().__init__(table)
+        self.config = config or NaruConfig()
+        self.name = f"Naru-{self.config.progressive_samples}"
+        order = list(self.config.column_order) if self.config.column_order else None
+
+        if self.config.architecture == "made":
+            self.model = MADEModel(
+                table,
+                hidden_sizes=self.config.hidden_sizes,
+                embedding_threshold=self.config.embedding_threshold,
+                embedding_dim=self.config.embedding_dim,
+                order=order,
+                seed=self.config.seed,
+            )
+        else:
+            self.model = ColumnNetworkModel(
+                table,
+                hidden_sizes=self.config.hidden_sizes,
+                embedding_threshold=self.config.embedding_threshold,
+                embedding_dim=self.config.embedding_dim,
+                order=order,
+                seed=self.config.seed,
+            )
+
+        self.trainer = Trainer(self.model, table,
+                               batch_size=self.config.batch_size,
+                               learning_rate=self.config.learning_rate,
+                               seed=self.config.seed)
+        self._sampler = ProgressiveSampler(self.model, seed=self.config.seed)
+        self._uniform_sampler = UniformRegionSampler(self.model, seed=self.config.seed)
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, epochs: int | None = None,
+            track_entropy_gap: bool = False) -> TrainingHistory:
+        """Train the likelihood model with maximum likelihood (Equation 2).
+
+        Parameters
+        ----------
+        epochs:
+            Number of passes over the data; defaults to ``config.epochs``.
+        track_entropy_gap:
+            Record the entropy gap after each epoch (slower; used by the
+            Figure 5 reproduction).
+        """
+        history = self.trainer.train(epochs if epochs is not None else self.config.epochs,
+                                     track_entropy_gap=track_entropy_gap)
+        self._fitted = True
+        return history
+
+    def refresh(self, codes: np.ndarray, epochs: int = 1) -> TrainingHistory:
+        """Fine-tune the existing model on (new) dictionary-encoded tuples.
+
+        Used after data ingests (§6.7.3): the model keeps its weights and
+        receives additional gradient updates on samples from the updated
+        relation.  ``codes`` must be encoded with the same dictionaries the
+        estimator was built with.
+        """
+        for _ in range(epochs):
+            self.trainer.train_epoch(codes=np.asarray(codes, dtype=np.int64))
+        return self.trainer.history
+
+    def entropy_gap_bits(self, sample_rows: int | None = 4096) -> float:
+        """Goodness-of-fit: KL divergence from the data in bits (§3.3)."""
+        return self.trainer.entropy_gap_bits(sample_rows=sample_rows)
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def estimate_selectivity(self, query: Query, num_samples: int | None = None,
+                             method: str = "auto") -> float:
+        """Estimate the selectivity of a conjunctive range/equality query.
+
+        Parameters
+        ----------
+        query:
+            The query; unfiltered columns are treated as wildcards.
+        num_samples:
+            Progressive-sampling paths; defaults to ``config.progressive_samples``.
+        method:
+            ``"auto"`` (enumerate small regions, sample otherwise),
+            ``"progressive"``, ``"enumerate"`` or ``"uniform"`` (the naive
+            region sampler, kept for ablations).
+        """
+        if not self._fitted:
+            raise RuntimeError("call fit() before estimating queries")
+        masks = query.column_masks(self.table)
+        samples = num_samples or self.config.progressive_samples
+
+        if method == "auto":
+            region = query.region_size(self.table)
+            method = ("enumerate" if region <= self.config.enumeration_threshold
+                      else "progressive")
+        if method == "enumerate":
+            estimate = enumerate_region(self.model, masks,
+                                        max_points=max(self.config.enumeration_threshold,
+                                                       2048))
+        elif method == "progressive":
+            estimate = self._sampler.estimate_selectivity(masks, num_samples=samples)
+        elif method == "uniform":
+            estimate = self._uniform_sampler.estimate_selectivity(masks,
+                                                                  num_samples=samples)
+        else:
+            raise ValueError(f"unknown estimation method {method!r}")
+        return float(min(max(estimate, 0.0), 1.0))
+
+    def point_likelihood(self, values: dict[str, object]) -> float:
+        """Probability of one fully specified tuple (equality on every column).
+
+        This is the straightforward point-density use of the likelihood model
+        (§5, "Equality Predicates"): a single forward pass.
+        """
+        codes = np.zeros((1, self.table.num_columns), dtype=np.int64)
+        for name, value in values.items():
+            column = self.table.column(name)
+            codes[0, self.table.column_index(name)] = column.value_to_code(value)
+        missing = set(self.table.column_names) - set(values)
+        if missing:
+            raise ValueError(f"point queries must specify every column; missing {sorted(missing)}")
+        return float(np.exp(self.model.log_prob(codes))[0])
+
+    # ------------------------------------------------------------------ #
+    def size_bytes(self) -> int:
+        """Model size (float32 weights), the quantity the storage budget caps."""
+        return self.model.size_bytes()

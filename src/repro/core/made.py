@@ -1,0 +1,170 @@
+"""Masked autoregressive MLP over relational tuples (architecture B, §4.3).
+
+This is the model the paper defaults to: a multi-layer perceptron whose weight
+matrices are multiplied by binary masks so that the output block of column
+``i`` only receives information from the input blocks of columns appearing
+*earlier* in the autoregressive order — the MADE construction of Germain et
+al. adapted to grouped (per-column, possibly embedded) inputs and outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.table import Table
+from .encoding import TupleEncoder
+
+__all__ = ["AutoregressiveModel", "MADEModel"]
+
+
+class AutoregressiveModel(nn.Module):
+    """Interface shared by all Naru density models.
+
+    A model maps a batch of integer-coded tuples to one probability
+    distribution per column, conditioned on the values of the columns that
+    precede it in :attr:`order`.  Both the training loop and the progressive
+    sampler are written against this interface, so architectures are
+    interchangeable (and the oracle model in :mod:`repro.core.oracle`
+    implements the same protocol without a neural network).
+    """
+
+    def __init__(self, table: Table, order: list[int] | None = None) -> None:
+        super().__init__()
+        self.column_names = table.column_names
+        self.domain_sizes_list = table.domain_sizes
+        self.order = list(order) if order is not None else list(range(table.num_columns))
+        if sorted(self.order) != list(range(table.num_columns)):
+            raise ValueError("order must be a permutation of the column positions")
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.domain_sizes_list)
+
+    def domain_sizes(self) -> list[int]:
+        return list(self.domain_sizes_list)
+
+    # -- protocol ------------------------------------------------------- #
+    def forward_logits(self, codes: np.ndarray) -> list[nn.Tensor]:
+        """Per-column logits ``(batch, |A_i|)`` for a batch of coded tuples."""
+        raise NotImplementedError
+
+    def nll(self, codes: np.ndarray) -> nn.Tensor:
+        """Mean negative log-likelihood (nats per tuple) of a coded batch.
+
+        This is the maximum-likelihood / cross-entropy training objective
+        (Equation 2 of the paper).
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        logits = self.forward_logits(codes)
+        total = None
+        for index, column_logits in enumerate(logits):
+            log_probs = column_logits.log_softmax(axis=-1)
+            picked = log_probs.gather(codes[:, index])
+            total = picked if total is None else total + picked
+        return -total.mean()
+
+    def log_prob(self, codes: np.ndarray) -> np.ndarray:
+        """Log probability (nats) of each tuple in a coded batch."""
+        codes = np.asarray(codes, dtype=np.int64)
+        with nn.no_grad():
+            logits = self.forward_logits(codes)
+            total = np.zeros(codes.shape[0])
+            for index, column_logits in enumerate(logits):
+                log_probs = column_logits.log_softmax(axis=-1).numpy()
+                total += log_probs[np.arange(codes.shape[0]), codes[:, index]]
+        return total
+
+    def conditional_probs(self, column_index: int, codes: np.ndarray) -> np.ndarray:
+        """``P(X_i | x_<i)`` for each row of a (partially filled) coded batch.
+
+        Columns at or after ``column_index`` in the autoregressive order are
+        ignored by construction, so their entries in ``codes`` may hold
+        arbitrary placeholder values.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        with nn.no_grad():
+            logits = self.forward_logits(codes)[column_index]
+            return np.exp(logits.log_softmax(axis=-1).numpy())
+
+
+def _degrees_for_blocks(block_widths: list[int], block_degrees: list[int]) -> np.ndarray:
+    """Expand per-block degrees to per-unit degrees."""
+    return np.concatenate([
+        np.full(width, degree, dtype=np.int64)
+        for width, degree in zip(block_widths, block_degrees)
+    ])
+
+
+class MADEModel(AutoregressiveModel):
+    """Masked multi-layer perceptron with grouped column blocks.
+
+    Parameters
+    ----------
+    table:
+        Table whose joint distribution is being modelled (defines domains).
+    hidden_sizes:
+        Hidden-layer widths.
+    embedding_threshold, embedding_dim:
+        Encoding strategy thresholds, see :class:`TupleEncoder`.
+    order:
+        Autoregressive ordering of the columns (defaults to table order).
+    seed:
+        Weight-initialisation seed.
+    """
+
+    def __init__(self, table: Table, hidden_sizes: tuple[int, ...] = (128, 128),
+                 embedding_threshold: int = 64, embedding_dim: int = 64,
+                 order: list[int] | None = None, seed: int = 0) -> None:
+        super().__init__(table, order=order)
+        rng = np.random.default_rng(seed)
+        self.encoder = TupleEncoder(table, embedding_threshold=embedding_threshold,
+                                    embedding_dim=embedding_dim, rng=rng)
+        self.hidden_sizes = tuple(hidden_sizes)
+
+        input_widths = self.encoder.input_widths
+        output_widths = self.encoder.output_widths
+        # Degree of column c = 1 + its position in the autoregressive order.
+        position = {column: index for index, column in enumerate(self.order)}
+        column_degrees = [position[column] + 1 for column in range(self.num_columns)]
+
+        input_degrees = _degrees_for_blocks(input_widths, column_degrees)
+        output_degrees = _degrees_for_blocks(output_widths, column_degrees)
+
+        max_hidden_degree = max(1, self.num_columns - 1)
+        self.layers: list[nn.MaskedLinear] = []
+        previous_degrees = input_degrees
+        previous_width = sum(input_widths)
+        for width in self.hidden_sizes:
+            layer = nn.MaskedLinear(previous_width, width, rng=rng)
+            hidden_degrees = (np.arange(width) % max_hidden_degree) + 1
+            mask = (hidden_degrees[None, :] >= previous_degrees[:, None]).astype(float)
+            layer.set_mask(mask)
+            self.layers.append(layer)
+            previous_degrees = hidden_degrees
+            previous_width = width
+
+        self.output_layer = nn.MaskedLinear(previous_width, sum(output_widths), rng=rng)
+        output_mask = (output_degrees[None, :] > previous_degrees[:, None]).astype(float)
+        self.output_layer.set_mask(output_mask)
+        self._output_slices = self._block_slices(output_widths)
+
+    @staticmethod
+    def _block_slices(widths: list[int]) -> list[slice]:
+        slices = []
+        offset = 0
+        for width in widths:
+            slices.append(slice(offset, offset + width))
+            offset += width
+        return slices
+
+    def forward_logits(self, codes: np.ndarray) -> list[nn.Tensor]:
+        codes = np.asarray(codes, dtype=np.int64)
+        hidden = self.encoder(codes)
+        for layer in self.layers:
+            hidden = layer(hidden).relu()
+        output = self.output_layer(hidden)
+        logits = []
+        for index, block in enumerate(self._output_slices):
+            logits.append(self.encoder.decode_logits(index, output[:, block]))
+        return logits

@@ -1,0 +1,33 @@
+"""Relational data substrate: tables, synthetic datasets, joins, CSV, shifts."""
+
+from .csv_io import read_csv, write_csv
+from .datasets import (
+    ColumnSpec,
+    make_census,
+    make_conviva_a,
+    make_conviva_b,
+    make_correlated_table,
+    make_dmv,
+    make_independent_table,
+)
+from .joins import JoinSampler, hash_join
+from .shift import PartitionedIngest, partition_by_column
+from .table import Column, Table
+
+__all__ = [
+    "Column",
+    "Table",
+    "ColumnSpec",
+    "make_correlated_table",
+    "make_independent_table",
+    "make_dmv",
+    "make_conviva_a",
+    "make_conviva_b",
+    "make_census",
+    "read_csv",
+    "write_csv",
+    "hash_join",
+    "JoinSampler",
+    "partition_by_column",
+    "PartitionedIngest",
+]

@@ -1,0 +1,81 @@
+"""CSV import/export for :class:`repro.data.table.Table`.
+
+The estimator is dataset-agnostic: any CSV with a header row can be loaded
+into a :class:`Table` and used to build a Naru model (this is how a user would
+point the library at the real DMV export, for example).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+import numpy as np
+
+from .table import Column, Table
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def _coerce_numeric(values: list[str]) -> np.ndarray:
+    """Convert a string column to int/float when every value parses cleanly."""
+    try:
+        as_int = np.array([int(v) for v in values], dtype=np.int64)
+        return as_int
+    except ValueError:
+        pass
+    try:
+        return np.array([float(v) for v in values], dtype=np.float64)
+    except ValueError:
+        return np.array(values, dtype=object)
+
+
+def read_csv(path: str | os.PathLike, columns: Sequence[str] | None = None,
+             name: str | None = None, max_rows: int | None = None) -> Table:
+    """Load a CSV file (with header) into a :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        CSV file path.
+    columns:
+        Optional subset of columns to keep, in the given order.
+    name:
+        Table name; defaults to the file stem.
+    max_rows:
+        Optional row limit (useful for snapshot-style training, §4.1).
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = []
+        for index, row in enumerate(reader):
+            if max_rows is not None and index >= max_rows:
+                break
+            rows.append(row)
+    if not rows:
+        raise ValueError(f"CSV file {path} contains no data rows")
+
+    wanted = list(columns) if columns is not None else header
+    missing = [col for col in wanted if col not in header]
+    if missing:
+        raise KeyError(f"columns not present in CSV header: {missing}")
+
+    table_columns = []
+    for col in wanted:
+        position = header.index(col)
+        raw = [row[position] for row in rows]
+        table_columns.append(Column(col, _coerce_numeric(raw)))
+    table_name = name or os.path.splitext(os.path.basename(str(path)))[0]
+    return Table(table_columns, name=table_name)
+
+
+def write_csv(table: Table, path: str | os.PathLike) -> None:
+    """Write a :class:`Table` to a CSV file with a header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        raw_columns = [column.values for column in table.columns]
+        for row_index in range(table.num_rows):
+            writer.writerow([column[row_index] for column in raw_columns])

@@ -1,0 +1,126 @@
+"""Join support: materialised equi-joins and on-the-fly join tuple sampling.
+
+The paper (§4.1, "Joins") treats a joined relation exactly like a base table:
+the estimator only needs access to tuples of the join result.  Two routes are
+provided, matching the two options the paper describes:
+
+* :func:`hash_join` materialises the full join result as a new :class:`Table`
+  (practical for the scaled-down tables used in this reproduction), and
+* :class:`JoinSampler` yields random batches of joined tuples without
+  materialising the result, emulating the sampler-based route for big joins.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from .table import Column, Table
+
+__all__ = ["hash_join", "JoinSampler"]
+
+
+def _build_hash_index(table: Table, key: str) -> dict:
+    """Map each key value to the list of row indices holding it."""
+    index: dict = defaultdict(list)
+    for row, value in enumerate(table.column(key).values):
+        index[value].append(row)
+    return index
+
+
+def hash_join(left: Table, right: Table, left_key: str, right_key: str,
+              name: str | None = None,
+              suffixes: tuple[str, str] = ("_l", "_r")) -> Table:
+    """Materialise the inner equi-join of two tables.
+
+    Column names that collide between the inputs are disambiguated with
+    ``suffixes``; the join key is kept once (from the left table).
+    """
+    right_index = _build_hash_index(right, right_key)
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    for row, value in enumerate(left.column(left_key).values):
+        for match in right_index.get(value, ()):
+            left_rows.append(row)
+            right_rows.append(match)
+    if not left_rows:
+        raise ValueError("join result is empty; the estimator needs at least one tuple")
+
+    left_idx = np.asarray(left_rows)
+    right_idx = np.asarray(right_rows)
+
+    columns: list[Column] = []
+    used_names: set[str] = set()
+    for column in left.columns:
+        columns.append(Column(column.name, column.values[left_idx]))
+        used_names.add(column.name)
+    for column in right.columns:
+        if column.name == right_key:
+            continue
+        out_name = column.name
+        if out_name in used_names:
+            out_name = f"{column.name}{suffixes[1]}"
+        columns.append(Column(out_name, column.values[right_idx]))
+        used_names.add(out_name)
+
+    return Table(columns, name=name or f"{left.name}_join_{right.name}")
+
+
+class JoinSampler:
+    """Sample random tuples from an equi-join without materialising it.
+
+    The sampler draws a left row uniformly, then a uniformly random matching
+    right row; rows without a match are rejected.  This produces tuples from
+    the join result with probability proportional to the left row's fan-out
+    normalised away, which is sufficient for the estimator-training use case
+    (the paper cites join samplers [5, 29] for the same purpose).
+    """
+
+    def __init__(self, left: Table, right: Table, left_key: str, right_key: str,
+                 seed: int = 0) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self._rng = np.random.default_rng(seed)
+        self._right_index = _build_hash_index(right, right_key)
+        left_values = left.column(left_key).values
+        self._joinable_left_rows = np.array(
+            [row for row, value in enumerate(left_values) if value in self._right_index])
+        if self._joinable_left_rows.size == 0:
+            raise ValueError("no joinable rows between the two tables")
+        self._schema = self._joined_schema()
+
+    def _joined_schema(self) -> list[str]:
+        names = list(self.left.column_names)
+        for column in self.right.columns:
+            if column.name == self.right_key:
+                continue
+            names.append(column.name if column.name not in names else f"{column.name}_r")
+        return names
+
+    @property
+    def column_names(self) -> list[str]:
+        """Schema of the sampled joined tuples."""
+        return list(self._schema)
+
+    def sample(self, count: int) -> list[tuple]:
+        """Return ``count`` raw joined tuples."""
+        rows = self._rng.choice(self._joinable_left_rows, size=count)
+        key_values = self.left.column(self.left_key).values
+        output = []
+        for left_row in rows:
+            matches = self._right_index[key_values[left_row]]
+            right_row = matches[self._rng.integers(0, len(matches))]
+            tuple_values = [column.values[left_row] for column in self.left.columns]
+            for column in self.right.columns:
+                if column.name == self.right_key:
+                    continue
+                tuple_values.append(column.values[right_row])
+            output.append(tuple(tuple_values))
+        return output
+
+    def sample_table(self, count: int, name: str = "join_sample") -> Table:
+        """Return ``count`` sampled joined tuples as a :class:`Table`."""
+        return Table.from_records(self.sample(count), self.column_names, name=name)

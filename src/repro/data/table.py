@@ -1,0 +1,244 @@
+"""In-memory relational substrate: columns, tables and dictionary encoding.
+
+Naru models a relation as a high-dimensional *discrete* distribution.  The
+first step (§4.2 of the paper) is to dictionary-encode every column into
+integer ids ``[0, |A_i|)``, with the dictionary sorted so that the integer
+order is consistent with the natural column order (this is what makes range
+predicates meaningful on the encoded representation).  This module implements
+that substrate: :class:`Column` holds one attribute with its domain and codes,
+:class:`Table` is an ordered collection of columns with helpers for sampling,
+projection and size accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Column", "Table"]
+
+
+def _is_numeric(values: np.ndarray) -> bool:
+    return np.issubdtype(values.dtype, np.number)
+
+
+@dataclass
+class Column:
+    """A single attribute: raw values, sorted domain and integer codes.
+
+    Parameters
+    ----------
+    name:
+        Attribute name.
+    values:
+        Raw per-row values (numeric or object/string).
+    """
+
+    name: str
+    values: np.ndarray
+    domain: np.ndarray = field(init=False)
+    codes: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values)
+        if values.ndim != 1:
+            raise ValueError(f"column {self.name!r} must be one-dimensional")
+        if values.size == 0:
+            raise ValueError(f"column {self.name!r} is empty")
+        self.values = values
+        # ``np.unique`` returns the sorted distinct values and, with
+        # ``return_inverse``, the dictionary codes in one pass.
+        domain, codes = np.unique(values, return_inverse=True)
+        self.domain = domain
+        self.codes = codes.astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def domain_size(self) -> int:
+        """Number of distinct values ``|A_i|``."""
+        return int(self.domain.size)
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether the raw values are numeric (ordered semantics)."""
+        return _is_numeric(self.domain)
+
+    def value_to_code(self, value) -> int:
+        """Map a raw value to its dictionary code.
+
+        Raises
+        ------
+        KeyError
+            If the value does not appear in the column's domain.
+        """
+        index = int(np.searchsorted(self.domain, value))
+        if index >= self.domain_size or self.domain[index] != value:
+            raise KeyError(f"value {value!r} not in domain of column {self.name!r}")
+        return index
+
+    def code_to_value(self, code: int):
+        """Map a dictionary code back to the raw value."""
+        return self.domain[int(code)]
+
+    def codes_leq(self, value) -> int:
+        """Return the exclusive upper code bound for ``column <= value``.
+
+        The result ``k`` means codes ``[0, k)`` satisfy the predicate even if
+        ``value`` itself is not present in the domain.
+        """
+        return int(np.searchsorted(self.domain, value, side="right"))
+
+    def codes_lt(self, value) -> int:
+        """Return the exclusive upper code bound for ``column < value``."""
+        return int(np.searchsorted(self.domain, value, side="left"))
+
+    def value_counts(self) -> np.ndarray:
+        """Histogram of codes over the domain (length ``|A_i|``)."""
+        return np.bincount(self.codes, minlength=self.domain_size).astype(np.int64)
+
+    def marginal(self) -> np.ndarray:
+        """Empirical marginal distribution ``P(A_i)`` over the domain."""
+        counts = self.value_counts()
+        return counts / counts.sum()
+
+    def in_memory_bytes(self) -> int:
+        """Approximate footprint of the raw column (for storage budgets)."""
+        if self.is_numeric:
+            return int(self.values.size * 8)
+        # Strings: count characters, assume 1 byte per character.
+        return int(sum(len(str(v)) for v in self.domain)
+                   + self.values.size * 8)
+
+    def __repr__(self) -> str:
+        return (f"Column(name={self.name!r}, rows={self.num_rows}, "
+                f"domain={self.domain_size})")
+
+
+class Table:
+    """An ordered collection of :class:`Column` objects over the same rows."""
+
+    def __init__(self, columns: Sequence[Column], name: str = "table") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        num_rows = columns[0].num_rows
+        for column in columns:
+            if column.num_rows != num_rows:
+                raise ValueError(
+                    f"column {column.name!r} has {column.num_rows} rows, "
+                    f"expected {num_rows}")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names: {names}")
+        self.name = name
+        self.columns = list(columns)
+        self._by_name = {column.name: column for column in columns}
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable], name: str = "table") -> "Table":
+        """Build a table from a ``{column name: values}`` mapping."""
+        columns = [Column(col_name, np.asarray(list(values) if not isinstance(values, np.ndarray) else values))
+                   for col_name, values in data.items()]
+        return cls(columns, name=name)
+
+    @classmethod
+    def from_records(cls, records: Sequence[Sequence], column_names: Sequence[str],
+                     name: str = "table") -> "Table":
+        """Build a table from row-major records."""
+        arrays = list(zip(*records))
+        if len(arrays) != len(column_names):
+            raise ValueError("record width does not match number of column names")
+        data = {col: np.asarray(values) for col, values in zip(column_names, arrays)}
+        return cls.from_dict(data, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        return self.columns[0].num_rows
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def domain_sizes(self) -> list[int]:
+        """Per-column domain sizes ``[|A_1|, …, |A_n|]``."""
+        return [column.domain_size for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no column named {name!r} in table {self.name!r}") from None
+
+    def column_index(self, name: str) -> int:
+        """Positional index of a column."""
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise KeyError(f"no column named {name!r} in table {self.name!r}")
+
+    def log_joint_size(self) -> float:
+        """``log10`` of the exact joint-distribution size (product of domains)."""
+        return float(np.sum(np.log10(np.asarray(self.domain_sizes, dtype=np.float64))))
+
+    def in_memory_bytes(self) -> int:
+        """Approximate in-memory size of the raw table (for storage budgets)."""
+        return int(sum(column.in_memory_bytes() for column in self.columns))
+
+    # ------------------------------------------------------------------ #
+    # Data access
+    # ------------------------------------------------------------------ #
+    def encoded(self) -> np.ndarray:
+        """Dictionary-encoded matrix of shape ``(num_rows, num_columns)``."""
+        return np.stack([column.codes for column in self.columns], axis=1)
+
+    def raw_row(self, index: int) -> tuple:
+        """Return one row of raw (decoded) values."""
+        return tuple(column.values[index] for column in self.columns)
+
+    def sample_rows(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly sample ``count`` encoded rows (with replacement)."""
+        indices = rng.integers(0, self.num_rows, size=count)
+        return self.encoded()[indices]
+
+    def project(self, column_names: Sequence[str], name: str | None = None) -> "Table":
+        """Return a new table with only the named columns (same rows)."""
+        columns = [self.column(col) for col in column_names]
+        projected = [Column(col.name, col.values) for col in columns]
+        return Table(projected, name=name or f"{self.name}_proj")
+
+    def take_rows(self, row_indices: np.ndarray, name: str | None = None) -> "Table":
+        """Return a new table consisting of the selected rows."""
+        row_indices = np.asarray(row_indices)
+        columns = [Column(col.name, col.values[row_indices]) for col in self.columns]
+        return Table(columns, name=name or self.name)
+
+    def concat(self, other: "Table", name: str | None = None) -> "Table":
+        """Append the rows of ``other`` (same schema) to this table."""
+        if self.column_names != other.column_names:
+            raise ValueError("cannot concatenate tables with different schemas")
+        columns = [
+            Column(mine.name, np.concatenate([mine.values, theirs.values]))
+            for mine, theirs in zip(self.columns, other.columns)
+        ]
+        return Table(columns, name=name or self.name)
+
+    def __repr__(self) -> str:
+        return (f"Table(name={self.name!r}, rows={self.num_rows}, "
+                f"columns={self.num_columns})")

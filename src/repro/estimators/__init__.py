@@ -1,0 +1,26 @@
+"""Baseline selectivity estimators (Table 2 of the paper) plus extensions."""
+
+from .base import CardinalityEstimator
+from .bayesnet import ChowLiuEstimator
+from .dbms1 import DBMS1Estimator
+from .histogram import MultiDimHistogramEstimator
+from .independence import IndependenceEstimator
+from .kde import KDEEstimator, KDESupervEstimator
+from .mscn import MSCNEstimator
+from .postgres import PostgresEstimator
+from .sampling import SamplingEstimator
+from .truth import TruthEstimator
+
+__all__ = [
+    "CardinalityEstimator",
+    "IndependenceEstimator",
+    "MultiDimHistogramEstimator",
+    "PostgresEstimator",
+    "DBMS1Estimator",
+    "SamplingEstimator",
+    "KDEEstimator",
+    "KDESupervEstimator",
+    "MSCNEstimator",
+    "ChowLiuEstimator",
+    "TruthEstimator",
+]

@@ -1,0 +1,61 @@
+"""Common interface implemented by every selectivity estimator in the package.
+
+All estimators — Naru itself and the baselines from Table 2 of the paper —
+answer the same question: given a conjunctive range/equality query, what
+fraction (selectivity) or number (cardinality) of the relation's tuples
+satisfies it?  The shared interface lets the benchmark harness treat them
+uniformly and enforce per-dataset storage budgets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..data.table import Table
+from ..query.predicates import Query
+
+__all__ = ["CardinalityEstimator"]
+
+
+class CardinalityEstimator(ABC):
+    """Base class for selectivity/cardinality estimators.
+
+    Subclasses are constructed (and, for learned estimators, trained) against
+    a specific :class:`~repro.data.table.Table` and afterwards answer queries
+    without touching the raw data again (except for the sampling baselines
+    that explicitly keep a sample).
+    """
+
+    #: Human-readable estimator name used in reports (e.g. ``"Naru-2000"``).
+    name: str = "estimator"
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.num_rows = table.num_rows
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def estimate_selectivity(self, query: Query) -> float:
+        """Estimated fraction of tuples satisfying ``query`` (in ``[0, 1]``)."""
+
+    def estimate_cardinality(self, query: Query) -> float:
+        """Estimated number of tuples satisfying ``query``."""
+        return self.estimate_selectivity(query) * self.num_rows
+
+    def size_bytes(self) -> int:
+        """Approximate storage footprint of the estimator's summary/model."""
+        return 0
+
+    # ------------------------------------------------------------------ #
+    def set_row_count(self, num_rows: int) -> None:
+        """Update the relation cardinality used to scale selectivities.
+
+        Needed by the data-shift study (Table 8), where new partitions grow
+        the relation while a *stale* estimator keeps its old model.
+        """
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        self.num_rows = num_rows
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

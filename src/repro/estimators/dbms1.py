@@ -1,0 +1,90 @@
+"""Commercial-DBMS-style estimator ("DBMS-1" in Table 2 of the paper).
+
+The paper describes DBMS-1 as "1D stats plus inter-column unique value
+counts".  This emulation keeps the Postgres-style per-column statistics and
+adds two correction mechanisms found in commercial optimisers:
+
+* **pairwise distinct-count correction** — for pairs of equality predicates
+  the estimator knows the number of distinct value *combinations* of the two
+  columns, so it can replace the independence product
+  ``1/d_a · 1/d_b`` with ``1/d_ab``, and
+* **exponential back-off** — when combining many predicate selectivities it
+  dampens all but the most selective ones (``s₁ · s₂^{1/2} · s₃^{1/4} · …``)
+  instead of multiplying them all, which is why its tail errors in the paper
+  are far below Postgres' even though it still uses 1-D statistics.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..data.table import Table
+from ..query.predicates import Operator, Query
+from .postgres import PostgresEstimator
+
+__all__ = ["DBMS1Estimator"]
+
+
+class DBMS1Estimator(PostgresEstimator):
+    """Postgres-style 1-D stats + pairwise distinct counts + back-off."""
+
+    name = "DBMS-1"
+
+    def __init__(self, table: Table, num_mcvs: int = 100,
+                 num_histogram_bounds: int = 101,
+                 max_column_pairs: int = 64) -> None:
+        super().__init__(table, num_mcvs=num_mcvs,
+                         num_histogram_bounds=num_histogram_bounds)
+        self._distinct = {index: column.domain_size
+                          for index, column in enumerate(table.columns)}
+        self._pair_distinct = self._build_pair_distinct(table, max_column_pairs)
+
+    @staticmethod
+    def _build_pair_distinct(table: Table, max_pairs: int) -> dict[tuple[int, int], int]:
+        """Distinct-combination counts for (up to) the first ``max_pairs`` pairs."""
+        coded = table.encoded()
+        pair_distinct: dict[tuple[int, int], int] = {}
+        for first, second in combinations(range(table.num_columns), 2):
+            if len(pair_distinct) >= max_pairs:
+                break
+            combined = coded[:, first].astype(np.int64) * (table.domain_sizes[second] + 1) \
+                + coded[:, second]
+            pair_distinct[(first, second)] = int(np.unique(combined).size)
+        return pair_distinct
+
+    # ------------------------------------------------------------------ #
+    def estimate_selectivity(self, query: Query) -> float:
+        per_predicate = self.predicate_selectivities(query)
+
+        # Pairwise distinct-count correction for equality predicates.
+        equality_columns = []
+        for predicate in query:
+            if predicate.operator is Operator.EQ:
+                equality_columns.append(self.table.column_index(predicate.column))
+        correction = 1.0
+        used: set[int] = set()
+        for first, second in combinations(sorted(set(equality_columns)), 2):
+            if first in used or second in used:
+                continue
+            pair_key = (first, second) if (first, second) in self._pair_distinct \
+                else (second, first)
+            if pair_key not in self._pair_distinct:
+                continue
+            independent = self._distinct[first] * self._distinct[second]
+            actual = self._pair_distinct[pair_key]
+            # Independence overcounts combinations by independent/actual.
+            correction *= independent / actual
+            used.update((first, second))
+
+        # Exponential back-off combination of per-predicate selectivities.
+        ordered = sorted(max(s, 1e-12) for s in per_predicate)
+        selectivity = 1.0
+        for rank, value in enumerate(ordered[:4]):
+            selectivity *= value ** (1.0 / (2 ** rank))
+        selectivity *= correction
+        return float(np.clip(selectivity, 0.0, 1.0))
+
+    def size_bytes(self) -> int:
+        return super().size_bytes() + len(self._pair_distinct) * 12

@@ -1,0 +1,149 @@
+"""Supervised learned estimator in the style of MSCN (Kipf et al., CIDR'19).
+
+MSCN is the query-driven baseline of the paper: a deep network trained on
+(query, true cardinality) pairs.  As in the original, each query is featurised
+from its predicates *plus* a bitmap recording which tuples of a small
+materialised sample satisfy the query; the network regresses the normalised
+log-selectivity.  Three variants from the paper are reproduced by varying the
+materialised-sample size:
+
+* ``MSCN-base`` — default sample of 1,000 tuples,
+* ``MSCN-0``    — no materialised sample (query features only),
+* a larger-sample variant corresponding to ``MSCN-10K``.
+
+Implementation note: the original model applies a shared per-predicate MLP
+followed by average pooling ("multi-set convolution").  Because the number of
+predicates here is bounded by the column count, this reproduction uses an
+equivalent fixed-width featurisation with one block per column; the
+qualitative behaviour the paper reports (heavy reliance on the sample bitmap,
+sharp degradation on out-of-distribution queries) is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .. import nn
+from ..data.table import Table
+from ..query.generator import LabeledQuery
+from ..query.predicates import Operator, Query
+from .base import CardinalityEstimator
+
+__all__ = ["MSCNEstimator"]
+
+_FEATURES_PER_COLUMN = 5  # has_filter, is_eq, is_le, is_ge, normalised literal
+
+
+class MSCNEstimator(CardinalityEstimator):
+    """Supervised deep regression network over query features + sample bitmap."""
+
+    def __init__(self, table: Table, sample_size: int = 1000,
+                 hidden_sizes: tuple[int, ...] = (128, 64), seed: int = 0,
+                 name: str | None = None) -> None:
+        super().__init__(table)
+        self.sample_size = min(sample_size, table.num_rows)
+        self.name = name or (f"MSCN-{self.sample_size}" if self.sample_size else "MSCN-0")
+        rng = np.random.default_rng(seed)
+        if self.sample_size:
+            rows = rng.choice(table.num_rows, size=self.sample_size, replace=False)
+            self._sample = table.encoded()[rows]
+        else:
+            self._sample = np.zeros((0, table.num_columns), dtype=np.int64)
+
+        feature_width = _FEATURES_PER_COLUMN * table.num_columns + self.sample_size
+        layers: list[nn.Module] = []
+        previous = feature_width
+        for width in hidden_sizes:
+            layers.append(nn.Linear(previous, width, rng=rng))
+            layers.append(nn.ReLU())
+            previous = width
+        layers.append(nn.Linear(previous, 1, rng=rng))
+        self.network = nn.Sequential(*layers)
+        self._rng = rng
+        # Labels are log-selectivities normalised to [0, 1]; the floor is one
+        # tuple out of the full relation.
+        self._log_floor = math.log(1.0 / table.num_rows)
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # Featurisation
+    # ------------------------------------------------------------------ #
+    def _featurize(self, query: Query) -> np.ndarray:
+        features = np.zeros(_FEATURES_PER_COLUMN * self.table.num_columns
+                            + self.sample_size)
+        for predicate in query:
+            column_index = self.table.column_index(predicate.column)
+            column = self.table.columns[column_index]
+            base = column_index * _FEATURES_PER_COLUMN
+            features[base + 0] = 1.0
+            operator = predicate.operator
+            if operator in (Operator.EQ, Operator.NEQ, Operator.IN):
+                features[base + 1] = 1.0
+            elif operator in (Operator.LE, Operator.LT, Operator.BETWEEN):
+                features[base + 2] = 1.0
+            else:
+                features[base + 3] = 1.0
+            mask = predicate.valid_codes(column)
+            valid = np.flatnonzero(mask)
+            literal_code = float(valid.mean()) if valid.size else 0.0
+            features[base + 4] = literal_code / max(column.domain_size - 1, 1)
+
+        if self.sample_size:
+            bitmap = np.ones(self.sample_size, dtype=bool)
+            for column_index, mask in enumerate(query.column_masks(self.table)):
+                if mask is None:
+                    continue
+                bitmap &= mask[self._sample[:, column_index]]
+            features[-self.sample_size:] = bitmap.astype(float)
+        return features
+
+    def _label(self, selectivity: float) -> float:
+        log_sel = math.log(max(selectivity, 1.0 / self.num_rows))
+        return 1.0 - log_sel / self._log_floor  # 1 at sel=1, 0 at the floor
+
+    def _unlabel(self, value: float) -> float:
+        value = min(max(value, 0.0), 1.0)
+        return math.exp((1.0 - value) * self._log_floor)
+
+    # ------------------------------------------------------------------ #
+    # Supervised training
+    # ------------------------------------------------------------------ #
+    def fit(self, training_queries: list[LabeledQuery], epochs: int = 20,
+            batch_size: int = 64, learning_rate: float = 1e-3) -> list[float]:
+        """Train on labelled queries; returns the per-epoch training loss."""
+        if not training_queries:
+            raise ValueError("MSCN requires labelled training queries")
+        features = np.stack([self._featurize(item.query) for item in training_queries])
+        labels = np.array([self._label(item.selectivity) for item in training_queries])
+
+        optimizer = nn.Adam(self.network.parameters(), lr=learning_rate)
+        losses = []
+        for _ in range(epochs):
+            order = self._rng.permutation(features.shape[0])
+            epoch_loss = 0.0
+            for start in range(0, features.shape[0], batch_size):
+                batch = order[start:start + batch_size]
+                optimizer.zero_grad()
+                prediction = self.network(nn.Tensor(features[batch])).sigmoid()
+                target = nn.Tensor(labels[batch].reshape(-1, 1))
+                loss = nn.mse_loss(prediction, target)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item() * batch.size
+            losses.append(epoch_loss / features.shape[0])
+        self._fitted = True
+        return losses
+
+    # ------------------------------------------------------------------ #
+    def estimate_selectivity(self, query: Query) -> float:
+        if not self._fitted:
+            raise RuntimeError("call fit() with training queries before estimating")
+        features = self._featurize(query)[None, :]
+        with nn.no_grad():
+            prediction = self.network(nn.Tensor(features)).sigmoid().numpy()[0, 0]
+        return float(self._unlabel(prediction))
+
+    def size_bytes(self) -> int:
+        return self.network.size_bytes() + int(self._sample.size * 4)

@@ -1,0 +1,65 @@
+"""Uniform-sample estimator (``Sample`` in Table 2 of the paper).
+
+Keeps ``p%`` of the tuples (dictionary-encoded) in memory and answers a query
+by counting how many sampled tuples satisfy it.  Excellent for medium and high
+selectivities, but collapses on low-selectivity queries once the sample
+contains no qualifying tuple — the failure mode the paper highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.table import Table
+from ..query.predicates import Query
+from .base import CardinalityEstimator
+
+__all__ = ["SamplingEstimator"]
+
+
+class SamplingEstimator(CardinalityEstimator):
+    """Uniform row sample kept in memory."""
+
+    def __init__(self, table: Table, fraction: float | None = 0.01,
+                 sample_size: int | None = None, seed: int = 0) -> None:
+        """Build the sample.
+
+        Parameters
+        ----------
+        table:
+            The relation.
+        fraction:
+            Fraction of rows to keep (ignored when ``sample_size`` is given).
+        sample_size:
+            Absolute number of sampled rows.
+        seed:
+            Sampling seed.
+        """
+        super().__init__(table)
+        rng = np.random.default_rng(seed)
+        if sample_size is None:
+            if fraction is None or not 0.0 < fraction <= 1.0:
+                raise ValueError("fraction must be in (0, 1] when sample_size is absent")
+            sample_size = max(1, int(round(fraction * table.num_rows)))
+        sample_size = min(sample_size, table.num_rows)
+        rows = rng.choice(table.num_rows, size=sample_size, replace=False)
+        self._sample = table.encoded()[rows]
+        self.name = f"Sample({sample_size / table.num_rows:.1%})"
+
+    @property
+    def sample_size(self) -> int:
+        """Number of tuples retained in the sample."""
+        return int(self._sample.shape[0])
+
+    def estimate_selectivity(self, query: Query) -> float:
+        mask = np.ones(self._sample.shape[0], dtype=bool)
+        for column_index, domain_mask in enumerate(query.column_masks(self.table)):
+            if domain_mask is None:
+                continue
+            mask &= domain_mask[self._sample[:, column_index]]
+            if not mask.any():
+                return 0.0
+        return float(mask.mean())
+
+    def size_bytes(self) -> int:
+        return int(self._sample.size * 4)

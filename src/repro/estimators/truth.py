@@ -1,0 +1,30 @@
+"""Ground-truth "estimator": exact selectivities by scanning the relation.
+
+Not a real estimator (it reads the full data at query time), but useful as a
+sanity check in tests and as the upper bound of achievable accuracy in the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from ..data.table import Table
+from ..query.executor import true_selectivity
+from ..query.predicates import Query
+from .base import CardinalityEstimator
+
+__all__ = ["TruthEstimator"]
+
+
+class TruthEstimator(CardinalityEstimator):
+    """Exact selectivities via full scans (q-error is always 1)."""
+
+    name = "Truth"
+
+    def __init__(self, table: Table) -> None:
+        super().__init__(table)
+
+    def estimate_selectivity(self, query: Query) -> float:
+        return true_selectivity(self.table, query)
+
+    def size_bytes(self) -> int:
+        return self.table.in_memory_bytes()

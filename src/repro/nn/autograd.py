@@ -1,0 +1,438 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module is the lowest layer of the neural-network substrate used by the
+Naru reproduction.  The paper's reference implementation relies on PyTorch;
+this environment has no deep-learning framework installed, so we provide a
+small, well-tested tensor engine with exactly the operations the estimator
+needs: broadcasting arithmetic, matrix products, ReLU, log/exp, reductions,
+stable ``log_softmax``, row gathering for embeddings, and concatenation.
+
+The design follows the classic tape-based approach: every operation returns a
+new :class:`Tensor` holding the forward value plus a closure that accumulates
+gradients into its parents.  Calling :meth:`Tensor.backward` topologically
+sorts the graph and runs the closures in reverse order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations are recorded on the autodiff tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got Tensor")
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A NumPy array with an optional gradient and autodiff history.
+
+    Parameters
+    ----------
+    data:
+        Array-like forward value.  Stored as ``float64`` for numerical
+        robustness (the models here are small, so memory is not a concern).
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the forward value as a NumPy array (shared, do not mutate)."""
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError("item() only works on single-element tensors")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------ #
+    # Graph plumbing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[["Tensor"], None] | None) -> "Tensor":
+        """Create a result tensor wired into the graph if grad is enabled."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires and backward is not None:
+            out._parents = tuple(parents)
+            out._backward = lambda: backward(out)
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to 1 for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+
+        # Topological order via iterative DFS (avoids recursion limits).
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(_unbroadcast(out.grad, a.shape))
+            b._accumulate(_unbroadcast(out.grad, b.shape))
+
+        return self._make(a.data + b.data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(-out.grad)
+
+        return self._make(-a.data, (a,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(_unbroadcast(out.grad * b.data, a.shape))
+            b._accumulate(_unbroadcast(out.grad * a.data, b.shape))
+
+        return self._make(a.data * b.data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+        value = a.data ** exponent
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(out.grad * exponent * a.data ** (exponent - 1.0))
+
+        return self._make(value, (a,), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(out.grad @ b.data.T)
+            b._accumulate(a.data.T @ out.grad)
+
+        return self._make(a.data @ b.data, (a, b), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------ #
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------ #
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(out.grad * mask)
+
+        return self._make(a.data * mask, (a,), backward)
+
+    def exp(self) -> "Tensor":
+        a = self
+        value = np.exp(a.data)
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(out.grad * value)
+
+        return self._make(value, (a,), backward)
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(out.grad / a.data)
+
+        return self._make(np.log(a.data), (a,), backward)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        value = np.tanh(a.data)
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(out.grad * (1.0 - value ** 2))
+
+        return self._make(value, (a,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        value = 1.0 / (1.0 + np.exp(-a.data))
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(out.grad * value * (1.0 - value))
+
+        return self._make(value, (a,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions and shape ops
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: int | tuple[int, ...] | None = None,
+            keepdims: bool = False) -> "Tensor":
+        a = self
+        value = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(out: Tensor) -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            a._accumulate(np.broadcast_to(grad, a.shape).copy())
+
+        return self._make(value, (a,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None,
+             keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else np.prod(
+            [self.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))])
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        original = a.shape
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(out.grad.reshape(original))
+
+        return self._make(a.data.reshape(shape), (a,), backward)
+
+    def transpose(self) -> "Tensor":
+        a = self
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(out.grad.T)
+
+        return self._make(a.data.T, (a,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        a = self
+
+        def backward(out: Tensor) -> None:
+            grad = np.zeros_like(a.data)
+            np.add.at(grad, key, out.grad)
+            a._accumulate(grad)
+
+        return self._make(a.data[key], (a,), backward)
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Row lookup (embedding gather): ``out[j] = self[indices[j]]``."""
+        a = self
+        idx = np.asarray(indices, dtype=np.int64)
+
+        def backward(out: Tensor) -> None:
+            grad = np.zeros_like(a.data)
+            np.add.at(grad, idx, out.grad)
+            a._accumulate(grad)
+
+        return self._make(a.data[idx], (a,), backward)
+
+    def gather(self, indices: np.ndarray) -> "Tensor":
+        """Pick one element per row: ``out[j] = self[j, indices[j]]``."""
+        a = self
+        idx = np.asarray(indices, dtype=np.int64)
+        rows = np.arange(a.shape[0])
+
+        def backward(out: Tensor) -> None:
+            grad = np.zeros_like(a.data)
+            np.add.at(grad, (rows, idx), out.grad)
+            a._accumulate(grad)
+
+        return self._make(a.data[rows, idx], (a,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Softmax family (numerically stable, fused backward)
+    # ------------------------------------------------------------------ #
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        a = self
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        value = shifted - log_norm
+        softmax = np.exp(value)
+
+        def backward(out: Tensor) -> None:
+            grad = out.grad - softmax * out.grad.sum(axis=axis, keepdims=True)
+            a._accumulate(grad)
+
+        return self._make(value, (a,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        return self.log_softmax(axis=axis).exp()
+
+    # ------------------------------------------------------------------ #
+    # Structural ops
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = -1) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        sizes = [t.shape[axis] for t in tensors]
+        value = np.concatenate([t.data for t in tensors], axis=axis)
+
+        def backward(out: Tensor) -> None:
+            offset = 0
+            for tensor, size in zip(tensors, sizes):
+                slicer = [slice(None)] * out.grad.ndim
+                slicer[axis] = slice(offset, offset + size)
+                tensor._accumulate(out.grad[tuple(slicer)])
+                offset += size
+
+        return Tensor._make(value, tensors, backward)
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Return a tensor equal to ``self`` where ``mask`` is False, else ``value``."""
+        a = self
+        mask = np.asarray(mask, dtype=bool)
+        out_value = np.where(mask, value, a.data)
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(np.where(mask, 0.0, out.grad))
+
+        return self._make(out_value, (a,), backward)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Module-level alias of :meth:`Tensor.concatenate`."""
+    return Tensor.concatenate(tensors, axis=axis)

@@ -1,0 +1,31 @@
+"""Query machinery: predicates, workload generation, exact execution, metrics."""
+
+from .executor import qualifying_rows, true_cardinality, true_selectivity
+from .generator import LabeledQuery, OODWorkloadGenerator, WorkloadGenerator
+from .metrics import (
+    SELECTIVITY_BUCKETS,
+    ErrorSummary,
+    bucketize,
+    q_error,
+    selectivity_bucket,
+    summarize_errors,
+)
+from .predicates import Operator, Predicate, Query
+
+__all__ = [
+    "Operator",
+    "Predicate",
+    "Query",
+    "qualifying_rows",
+    "true_cardinality",
+    "true_selectivity",
+    "WorkloadGenerator",
+    "OODWorkloadGenerator",
+    "LabeledQuery",
+    "q_error",
+    "selectivity_bucket",
+    "summarize_errors",
+    "bucketize",
+    "ErrorSummary",
+    "SELECTIVITY_BUCKETS",
+]

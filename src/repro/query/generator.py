@@ -1,0 +1,129 @@
+"""Workload generation following §6.1.3 of the paper.
+
+The generator draws, for each query:
+
+1. the number of filters ``f`` uniformly from ``[min_filters, max_filters]``
+   (the paper uses 5–11 on an 11-column table to avoid trivially selective
+   queries),
+2. ``f`` distinct columns uniformly at random,
+3. one operator per column — ``{=, ≤, ≥}`` uniformly for columns whose domain
+   has at least 10 values, ``=`` otherwise (no range predicates on small
+   categoricals), and
+4. the filter literals from a uniformly sampled data tuple, so literals follow
+   the data distribution.
+
+:class:`OODWorkloadGenerator` produces the out-of-distribution variant used in
+§6.3 where the literals are drawn from the full per-column domain instead,
+which makes most queries empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..data.table import Table
+from .executor import true_selectivity
+from .predicates import Operator, Predicate, Query
+
+__all__ = ["LabeledQuery", "WorkloadGenerator", "OODWorkloadGenerator"]
+
+_RANGE_DOMAIN_THRESHOLD = 10
+_RANGE_OPERATORS = (Operator.EQ, Operator.LE, Operator.GE)
+
+
+@dataclass(frozen=True)
+class LabeledQuery:
+    """A query together with its exact cardinality and selectivity."""
+
+    query: Query
+    cardinality: int
+    selectivity: float
+
+
+class WorkloadGenerator:
+    """Random conjunctive range/equality workloads over a table.
+
+    Parameters
+    ----------
+    table:
+        The relation to generate queries against.
+    min_filters, max_filters:
+        Inclusive bounds on the number of (non-wildcard) filters per query;
+        ``max_filters`` is clipped to the number of columns.
+    seed:
+        Seed for the deterministic pseudo-random generator.
+    """
+
+    def __init__(self, table: Table, min_filters: int = 5,
+                 max_filters: int = 11, seed: int = 0) -> None:
+        if min_filters < 1:
+            raise ValueError("min_filters must be at least 1")
+        self.table = table
+        self.min_filters = min(min_filters, table.num_columns)
+        self.max_filters = min(max_filters, table.num_columns)
+        if self.min_filters > self.max_filters:
+            raise ValueError("min_filters exceeds max_filters after clipping")
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def _pick_operator(self, domain_size: int) -> Operator:
+        if domain_size >= _RANGE_DOMAIN_THRESHOLD:
+            return _RANGE_OPERATORS[self._rng.integers(0, len(_RANGE_OPERATORS))]
+        return Operator.EQ
+
+    def _pick_literals(self, column_indices: np.ndarray) -> list:
+        """Literals come from a uniformly sampled data tuple (in-distribution)."""
+        row = int(self._rng.integers(0, self.table.num_rows))
+        return [self.table.columns[index].values[row] for index in column_indices]
+
+    def generate_query(self) -> Query:
+        """Generate one random conjunctive query."""
+        num_filters = int(self._rng.integers(self.min_filters, self.max_filters + 1))
+        column_indices = self._rng.choice(self.table.num_columns, size=num_filters,
+                                          replace=False)
+        literals = self._pick_literals(column_indices)
+        predicates = []
+        for index, literal in zip(column_indices, literals):
+            column = self.table.columns[index]
+            operator = self._pick_operator(column.domain_size)
+            predicates.append(Predicate(column.name, operator, literal))
+        return Query(predicates)
+
+    def generate(self, count: int) -> list[Query]:
+        """Generate ``count`` random queries."""
+        return [self.generate_query() for _ in range(count)]
+
+    def generate_labeled(self, count: int) -> list[LabeledQuery]:
+        """Generate queries together with exact cardinalities (ground truth)."""
+        labeled = []
+        for query in self.generate(count):
+            selectivity = true_selectivity(self.table, query)
+            labeled.append(LabeledQuery(
+                query=query,
+                cardinality=int(round(selectivity * self.table.num_rows)),
+                selectivity=selectivity,
+            ))
+        return labeled
+
+    def __iter__(self) -> Iterator[Query]:
+        while True:
+            yield self.generate_query()
+
+
+class OODWorkloadGenerator(WorkloadGenerator):
+    """Out-of-distribution workloads: literals drawn from the full domain.
+
+    Because the joint domain is astronomically larger than the data, almost
+    every generated query has zero true cardinality — the regime used by the
+    paper to test estimator robustness (§6.3, Table 5).
+    """
+
+    def _pick_literals(self, column_indices: np.ndarray) -> list:
+        literals = []
+        for index in column_indices:
+            domain = self.table.columns[index].domain
+            literals.append(domain[int(self._rng.integers(0, domain.size))])
+        return literals

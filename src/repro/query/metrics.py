@@ -1,0 +1,99 @@
+"""Accuracy metrics: multiplicative (q-)error, buckets and quantile summaries.
+
+Matches §6.1.3 of the paper: the reported metric is the multiplicative error
+``max(estimate, actual) / min(estimate, actual)`` with both cardinalities
+floored at 1, reported in quantiles (median / 95th / 99th / max) and grouped
+by true-selectivity bucket (high > 2%, medium 0.5–2%, low ≤ 0.5%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "q_error",
+    "selectivity_bucket",
+    "ErrorSummary",
+    "summarize_errors",
+    "bucketize",
+    "SELECTIVITY_BUCKETS",
+]
+
+#: Bucket names in the order the paper's tables print them.
+SELECTIVITY_BUCKETS = ("high", "medium", "low")
+
+_HIGH_THRESHOLD = 0.02
+_MEDIUM_THRESHOLD = 0.005
+
+
+def q_error(estimated_cardinality: float, true_cardinality: float) -> float:
+    """Multiplicative error between an estimate and the truth.
+
+    Both inputs are floored at 1 tuple to guard against division by zero, as
+    in the paper.
+    """
+    estimate = max(float(estimated_cardinality), 1.0)
+    actual = max(float(true_cardinality), 1.0)
+    return max(estimate, actual) / min(estimate, actual)
+
+
+def selectivity_bucket(selectivity: float) -> str:
+    """Classify a true selectivity into the paper's high/medium/low buckets."""
+    if selectivity > _HIGH_THRESHOLD:
+        return "high"
+    if selectivity > _MEDIUM_THRESHOLD:
+        return "medium"
+    return "low"
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Quantile summary of a set of q-errors."""
+
+    count: int
+    median: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+    def __str__(self) -> str:
+        return (f"median={self.median:.2f} p95={self.p95:.2f} "
+                f"p99={self.p99:.2f} max={self.maximum:.2f} (n={self.count})")
+
+
+def summarize_errors(errors: Iterable[float]) -> ErrorSummary:
+    """Compute the paper's quantiles (median, 95th, 99th, max) of q-errors."""
+    values = np.asarray(list(errors), dtype=np.float64)
+    if values.size == 0:
+        return ErrorSummary(count=0, median=float("nan"), p95=float("nan"),
+                            p99=float("nan"), maximum=float("nan"))
+    return ErrorSummary(
+        count=int(values.size),
+        median=float(np.quantile(values, 0.5)),
+        p95=float(np.quantile(values, 0.95)),
+        p99=float(np.quantile(values, 0.99)),
+        maximum=float(values.max()),
+    )
+
+
+def bucketize(errors: Sequence[float],
+              selectivities: Sequence[float]) -> Mapping[str, ErrorSummary]:
+    """Group q-errors by true-selectivity bucket and summarise each group."""
+    if len(errors) != len(selectivities):
+        raise ValueError("errors and selectivities must have the same length")
+    grouped: dict[str, list[float]] = {bucket: [] for bucket in SELECTIVITY_BUCKETS}
+    for error, selectivity in zip(errors, selectivities):
+        grouped[selectivity_bucket(selectivity)].append(error)
+    return {bucket: summarize_errors(values) for bucket, values in grouped.items()}

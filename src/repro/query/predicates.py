@@ -1,0 +1,166 @@
+"""Predicates and conjunctive queries over dictionary-encoded tables.
+
+The problem statement (§2.2 of the paper) covers conjunctions of per-attribute
+filters with the operators ``=, ≠, <, ≤, >, ≥``, interval containment and
+``IN``.  All of them reduce, per column, to a *set of valid dictionary codes*
+(a boolean mask over the column's domain).  That reduction is what both the
+exact executor and every estimator in this package consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..data.table import Column, Table
+
+__all__ = ["Operator", "Predicate", "Query"]
+
+
+class Operator(str, Enum):
+    """Supported filter operators."""
+
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "in"
+    BETWEEN = "between"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single filter ``column <op> value``.
+
+    ``value`` is a scalar for comparison operators, an iterable of scalars for
+    ``IN`` and a ``(low, high)`` pair (inclusive on both ends) for ``BETWEEN``.
+    """
+
+    column: str
+    operator: Operator
+    value: object
+
+    def __post_init__(self) -> None:
+        operator = Operator(self.operator)
+        object.__setattr__(self, "operator", operator)
+        if operator is Operator.BETWEEN:
+            low, high = self.value  # raises if not a 2-sequence
+            if low > high:
+                raise ValueError(f"BETWEEN bounds out of order: {self.value!r}")
+        if operator is Operator.IN and not isinstance(self.value, (list, tuple, set, frozenset, np.ndarray)):
+            raise ValueError("IN predicate requires an iterable of values")
+
+    # ------------------------------------------------------------------ #
+    def valid_codes(self, column: Column) -> np.ndarray:
+        """Boolean mask over the column's domain of codes satisfying the filter.
+
+        Literals need not be present in the domain: comparison operators use
+        the sorted-domain order, equality with an absent literal yields an
+        all-false mask (zero selectivity contribution).
+        """
+        domain_size = column.domain_size
+        mask = np.zeros(domain_size, dtype=bool)
+        op = self.operator
+        if op is Operator.EQ or op is Operator.NEQ:
+            try:
+                code = column.value_to_code(self.value)
+                mask[code] = True
+            except KeyError:
+                pass
+            return ~mask if op is Operator.NEQ else mask
+        if op is Operator.LE:
+            mask[: column.codes_leq(self.value)] = True
+            return mask
+        if op is Operator.LT:
+            mask[: column.codes_lt(self.value)] = True
+            return mask
+        if op is Operator.GE:
+            mask[column.codes_lt(self.value):] = True
+            return mask
+        if op is Operator.GT:
+            mask[column.codes_leq(self.value):] = True
+            return mask
+        if op is Operator.IN:
+            for value in self.value:
+                try:
+                    mask[column.value_to_code(value)] = True
+                except KeyError:
+                    continue
+            return mask
+        if op is Operator.BETWEEN:
+            low, high = self.value
+            mask[column.codes_lt(low): column.codes_leq(high)] = True
+            return mask
+        raise AssertionError(f"unhandled operator {op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.operator.value} {self.value!r}"
+
+
+class Query:
+    """A conjunction of :class:`Predicate` filters over one table's schema."""
+
+    def __init__(self, predicates: Sequence[Predicate]) -> None:
+        self.predicates = list(predicates)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tuples(cls, filters: Iterable[tuple[str, str, object]]) -> "Query":
+        """Build a query from ``(column, operator, value)`` tuples."""
+        return cls([Predicate(col, Operator(op), value) for col, op, value in filters])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_filters(self) -> int:
+        """Number of non-wildcard filters."""
+        return len(self.predicates)
+
+    def filtered_columns(self) -> list[str]:
+        """Names of columns that carry at least one filter."""
+        seen: list[str] = []
+        for predicate in self.predicates:
+            if predicate.column not in seen:
+                seen.append(predicate.column)
+        return seen
+
+    def column_masks(self, table: Table) -> list[np.ndarray | None]:
+        """Per-table-column valid-code masks; ``None`` marks a wildcard column.
+
+        Multiple predicates on the same column are intersected (conjunction).
+        """
+        masks: list[np.ndarray | None] = [None] * table.num_columns
+        for predicate in self.predicates:
+            index = table.column_index(predicate.column)
+            mask = predicate.valid_codes(table.columns[index])
+            masks[index] = mask if masks[index] is None else masks[index] & mask
+        return masks
+
+    def region_size(self, table: Table) -> float:
+        """Number of points in the query region ``R_1 × … × R_n``.
+
+        Wildcard columns contribute their full domain.  Returned as a float
+        because the count easily exceeds 2**63 for wide tables.
+        """
+        size = 1.0
+        for column, mask in zip(table.columns, self.column_masks(table)):
+            size *= float(column.domain_size if mask is None else int(mask.sum()))
+        return size
+
+    def __iter__(self):
+        return iter(self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __str__(self) -> str:
+        return " AND ".join(str(p) for p in self.predicates) or "TRUE"
+
+    def __repr__(self) -> str:
+        return f"Query({str(self)})"

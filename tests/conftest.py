@@ -1,0 +1,51 @@
+"""Shared fixtures: small tables and pre-trained estimators reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NaruConfig, NaruEstimator
+from repro.data import ColumnSpec, Table, make_correlated_table
+
+
+@pytest.fixture(scope="session")
+def tiny_table() -> Table:
+    """A 4-column correlated table small enough for exact checks."""
+    specs = [
+        ColumnSpec("city", 6, "categorical", skew=1.2),
+        ColumnSpec("year", 12, "ordinal", skew=1.1),
+        ColumnSpec("stars", 5, "categorical", skew=1.4),
+        ColumnSpec("price", 20, "ordinal", skew=1.1),
+    ]
+    return make_correlated_table(specs, num_rows=800, seed=11, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def medium_table() -> Table:
+    """A 7-column table used for estimator accuracy comparisons."""
+    specs = [
+        ColumnSpec("a", 8, "categorical", skew=1.3),
+        ColumnSpec("b", 30, "ordinal", skew=1.2),
+        ColumnSpec("c", 4, "categorical", skew=1.6),
+        ColumnSpec("d", 50, "ordinal", skew=1.1),
+        ColumnSpec("e", 12, "categorical", skew=1.4),
+        ColumnSpec("f", 90, "ordinal", skew=1.05),
+        ColumnSpec("g", 2, "categorical", skew=1.8),
+    ]
+    return make_correlated_table(specs, num_rows=2500, seed=5, name="medium")
+
+
+@pytest.fixture(scope="session")
+def trained_naru(tiny_table: Table) -> NaruEstimator:
+    """A Naru estimator trained once and shared by read-only tests."""
+    config = NaruConfig(epochs=15, hidden_sizes=(64, 64), batch_size=256,
+                        learning_rate=5e-3, progressive_samples=400, seed=0)
+    estimator = NaruEstimator(tiny_table, config)
+    estimator.fit()
+    return estimator
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,220 @@
+"""Tests for encoders, the MADE model, per-column networks and training.
+
+The central invariant verified here is *autoregressiveness*: the model's
+distribution for column ``i`` must not change when any column at or after
+``i`` in the ordering changes — this is what makes the chain-rule
+factorisation, and hence progressive sampling, valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ColumnNetworkModel,
+    MADEModel,
+    NaruConfig,
+    Trainer,
+    TupleEncoder,
+    cross_entropy_bits,
+    data_entropy_bits,
+)
+from repro.data import ColumnSpec, make_correlated_table
+
+
+@pytest.fixture(scope="module")
+def embed_table():
+    """A table with both small (one-hot) and large (embedding) domains."""
+    specs = [
+        ColumnSpec("small", 5, "categorical"),
+        ColumnSpec("large", 120, "ordinal"),
+        ColumnSpec("tiny", 2, "categorical"),
+    ]
+    return make_correlated_table(specs, num_rows=600, seed=3, name="embed")
+
+
+class TestTupleEncoder:
+    def test_encoding_strategy_selection(self, embed_table):
+        encoder = TupleEncoder(embed_table, embedding_threshold=20, embedding_dim=16)
+        small, large, tiny = embed_table.domain_sizes
+        assert not encoder.codecs[0].use_embedding
+        assert encoder.codecs[1].use_embedding
+        assert encoder.input_widths == [small, 16, tiny]
+        assert encoder.output_widths == [small, 16, tiny]
+
+    def test_one_hot_encoding_values(self, embed_table):
+        encoder = TupleEncoder(embed_table, embedding_threshold=20)
+        block = encoder.encode_column(0, np.array([2, 0])).numpy()
+        np.testing.assert_allclose(block.sum(axis=1), [1.0, 1.0])
+        assert block[0, 2] == 1.0 and block[1, 0] == 1.0
+
+    def test_embedding_encoding_shape(self, embed_table):
+        encoder = TupleEncoder(embed_table, embedding_threshold=20, embedding_dim=16)
+        block = encoder.encode_column(1, np.array([3, 7, 7])).numpy()
+        assert block.shape == (3, 16)
+        np.testing.assert_allclose(block[1], block[2])
+
+    def test_forward_concatenates_all_columns(self, embed_table):
+        encoder = TupleEncoder(embed_table, embedding_threshold=20, embedding_dim=16)
+        codes = embed_table.encoded()[:4]
+        assert encoder(codes).shape == (4, encoder.total_input_width)
+
+    def test_embedding_reuse_decoding_shape(self, embed_table):
+        from repro import nn
+
+        encoder = TupleEncoder(embed_table, embedding_threshold=20, embedding_dim=16)
+        feature = nn.Tensor(np.random.default_rng(0).normal(size=(4, 16)))
+        logits = encoder.decode_logits(1, feature)
+        assert logits.shape == (4, embed_table.column("large").domain_size)
+
+    def test_direct_decoding_passthrough(self, embed_table):
+        from repro import nn
+
+        encoder = TupleEncoder(embed_table)
+        block = nn.Tensor(np.zeros((2, 5)))
+        assert encoder.decode_logits(0, block) is block
+
+
+def _check_autoregressive(model, table, column_index):
+    """Changing columns >= column_index must not change that column's output."""
+    rng = np.random.default_rng(0)
+    base = table.encoded()[:8].copy()
+    perturbed = base.copy()
+    position = model.order.index(column_index)
+    for later in model.order[position:]:
+        perturbed[:, later] = rng.integers(0, table.domain_sizes[later], size=8)
+    base_probs = model.conditional_probs(column_index, base)
+    perturbed_probs = model.conditional_probs(column_index, perturbed)
+    np.testing.assert_allclose(base_probs, perturbed_probs, atol=1e-12)
+
+
+class TestMADEModel:
+    def test_conditional_outputs_are_distributions(self, embed_table):
+        model = MADEModel(embed_table, hidden_sizes=(32, 32), seed=0)
+        codes = embed_table.encoded()[:16]
+        for column in range(embed_table.num_columns):
+            probs = model.conditional_probs(column, codes)
+            assert probs.shape == (16, embed_table.domain_sizes[column])
+            np.testing.assert_allclose(probs.sum(axis=1), np.ones(16), atol=1e-9)
+            assert probs.min() >= 0.0
+
+    @pytest.mark.parametrize("column", [0, 1, 2])
+    def test_autoregressive_property_natural_order(self, embed_table, column):
+        model = MADEModel(embed_table, hidden_sizes=(32, 32), seed=1)
+        _check_autoregressive(model, embed_table, column)
+
+    @pytest.mark.parametrize("column", [0, 1, 2])
+    def test_autoregressive_property_custom_order(self, embed_table, column):
+        model = MADEModel(embed_table, hidden_sizes=(32,), order=[2, 0, 1], seed=2)
+        _check_autoregressive(model, embed_table, column)
+
+    def test_first_column_in_order_is_unconditional(self, embed_table):
+        model = MADEModel(embed_table, hidden_sizes=(32, 32), order=[1, 2, 0], seed=0)
+        rng = np.random.default_rng(0)
+        random_codes = np.stack([
+            rng.integers(0, size, 12) for size in embed_table.domain_sizes
+        ], axis=1)
+        probs = model.conditional_probs(1, random_codes)
+        # The first column in the order must produce the same (marginal)
+        # distribution regardless of the input tuple.
+        np.testing.assert_allclose(probs, np.broadcast_to(probs[0], probs.shape),
+                                   atol=1e-12)
+
+    def test_invalid_order_rejected(self, embed_table):
+        with pytest.raises(ValueError):
+            MADEModel(embed_table, order=[0, 0, 1])
+
+    def test_log_prob_sums_conditionals(self, embed_table):
+        model = MADEModel(embed_table, hidden_sizes=(16,), seed=0)
+        codes = embed_table.encoded()[:5]
+        expected = np.zeros(5)
+        for column in range(embed_table.num_columns):
+            probs = model.conditional_probs(column, codes)
+            expected += np.log(probs[np.arange(5), codes[:, column]])
+        np.testing.assert_allclose(model.log_prob(codes), expected, atol=1e-9)
+
+    def test_nll_matches_log_prob(self, embed_table):
+        model = MADEModel(embed_table, hidden_sizes=(16,), seed=0)
+        codes = embed_table.encoded()[:32]
+        nll = model.nll(codes).item()
+        assert nll == pytest.approx(-model.log_prob(codes).mean(), rel=1e-6)
+
+
+class TestColumnNetworkModel:
+    def test_conditional_outputs_are_distributions(self, embed_table):
+        model = ColumnNetworkModel(embed_table, hidden_sizes=(16, 16), seed=0)
+        codes = embed_table.encoded()[:8]
+        for column in range(embed_table.num_columns):
+            probs = model.conditional_probs(column, codes)
+            np.testing.assert_allclose(probs.sum(axis=1), np.ones(8), atol=1e-9)
+
+    @pytest.mark.parametrize("column", [0, 1, 2])
+    def test_autoregressive_property(self, embed_table, column):
+        model = ColumnNetworkModel(embed_table, hidden_sizes=(16,), seed=1)
+        _check_autoregressive(model, embed_table, column)
+
+    def test_training_reduces_loss(self, embed_table):
+        model = ColumnNetworkModel(embed_table, hidden_sizes=(32,), seed=0)
+        trainer = Trainer(model, embed_table, batch_size=128, learning_rate=5e-3)
+        first = trainer.train_epoch()
+        for _ in range(5):
+            last = trainer.train_epoch()
+        assert last < first
+
+
+class TestTraining:
+    def test_data_entropy_of_uniform_unique_rows(self):
+        table = make_correlated_table(
+            [ColumnSpec("a", 64, correlation=0.0, skew=0.0)], num_rows=64, seed=0)
+        # Not exactly uniform, but entropy is bounded by log2(64).
+        assert 0 < data_entropy_bits(table) <= 6.0 + 1e-9
+
+    def test_training_reduces_loss_and_entropy_gap(self, embed_table):
+        model = MADEModel(embed_table, hidden_sizes=(32, 32), seed=0)
+        trainer = Trainer(model, embed_table, batch_size=128, learning_rate=5e-3)
+        initial_gap = trainer.entropy_gap_bits(sample_rows=None)
+        history = trainer.train(epochs=6)
+        final_gap = trainer.entropy_gap_bits(sample_rows=None)
+        assert history.num_epochs == 6
+        assert history.epoch_losses_bits[-1] < history.epoch_losses_bits[0]
+        assert final_gap < initial_gap
+
+    def test_track_entropy_gap_option(self, embed_table):
+        model = MADEModel(embed_table, hidden_sizes=(16,), seed=0)
+        trainer = Trainer(model, embed_table, batch_size=256)
+        history = trainer.train(epochs=2, track_entropy_gap=True)
+        assert len(history.epoch_entropy_gaps_bits) == 2
+
+    def test_cross_entropy_bits_nonnegative_vs_entropy(self, embed_table):
+        model = MADEModel(embed_table, hidden_sizes=(16,), seed=0)
+        cross = cross_entropy_bits(model, embed_table.encoded())
+        assert cross >= data_entropy_bits(embed_table) - 1e-6
+
+    def test_fine_tune_runs(self, embed_table):
+        model = MADEModel(embed_table, hidden_sizes=(16,), seed=0)
+        trainer = Trainer(model, embed_table, batch_size=256)
+        trainer.train(epochs=1)
+        history = trainer.fine_tune(embed_table, epochs=1)
+        assert history.num_epochs == 2
+
+
+class TestNaruConfig:
+    def test_invalid_architecture(self):
+        with pytest.raises(ValueError):
+            NaruConfig(architecture="transformer")
+
+    def test_invalid_hidden_sizes(self):
+        with pytest.raises(ValueError):
+            NaruConfig(hidden_sizes=())
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            NaruConfig(progressive_samples=0)
+
+    def test_with_overrides(self):
+        config = NaruConfig(epochs=3)
+        updated = config.with_overrides(epochs=7, progressive_samples=2000)
+        assert updated.epochs == 7
+        assert updated.progressive_samples == 2000
+        assert config.epochs == 3

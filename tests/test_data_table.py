@@ -1,0 +1,131 @@
+"""Tests for the relational substrate: columns, tables, dictionary encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Column, Table
+
+
+class TestColumn:
+    def test_dictionary_encoding_is_sorted_and_consistent(self):
+        column = Column("city", np.array(["SF", "Portland", "SF", "Austin"]))
+        assert list(column.domain) == ["Austin", "Portland", "SF"]
+        assert column.domain_size == 3
+        np.testing.assert_array_equal(column.codes, [2, 1, 2, 0])
+
+    def test_value_code_roundtrip(self):
+        column = Column("n", np.array([5, 3, 9, 3]))
+        for value in (3, 5, 9):
+            assert column.code_to_value(column.value_to_code(value)) == value
+
+    def test_value_to_code_missing_raises(self):
+        column = Column("n", np.array([1, 2, 3]))
+        with pytest.raises(KeyError):
+            column.value_to_code(42)
+
+    def test_range_code_bounds(self):
+        column = Column("n", np.array([10, 20, 30, 40]))
+        assert column.codes_leq(25) == 2    # codes {0,1} are <= 25
+        assert column.codes_leq(30) == 3
+        assert column.codes_lt(30) == 2
+        assert column.codes_lt(5) == 0
+        assert column.codes_leq(100) == 4
+
+    def test_marginal_sums_to_one(self):
+        column = Column("n", np.array([1, 1, 1, 2]))
+        marginal = column.marginal()
+        assert marginal.sum() == pytest.approx(1.0)
+        assert marginal[0] == pytest.approx(0.75)
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(ValueError):
+            Column("empty", np.array([]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            Column("bad", np.ones((2, 2)))
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_codes_preserve_order(self, values):
+        column = Column("v", np.array(values))
+        # Codes must be order-isomorphic to the raw values.
+        raw = np.array(values)
+        assert np.all((raw[:, None] < raw[None, :])
+                      == (column.codes[:, None] < column.codes[None, :]))
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_value_counts_total(self, values):
+        column = Column("v", np.array(values))
+        assert column.value_counts().sum() == len(values)
+
+
+class TestTable:
+    def test_from_dict_and_basic_properties(self):
+        table = Table.from_dict({"a": [1, 2, 2], "b": ["x", "y", "x"]}, name="t")
+        assert table.num_rows == 3
+        assert table.num_columns == 2
+        assert table.column_names == ["a", "b"]
+        assert table.domain_sizes == [2, 2]
+
+    def test_from_records(self):
+        table = Table.from_records([(1, "x"), (2, "y")], ["a", "b"])
+        assert table.num_rows == 2
+        assert table.column("b").domain_size == 2
+
+    def test_mismatched_row_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Table([Column("a", np.array([1, 2])), Column("b", np.array([1]))])
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(ValueError):
+            Table([Column("a", np.array([1])), Column("a", np.array([2]))])
+
+    def test_encoded_matrix_shape_and_dtype(self, tiny_table):
+        encoded = tiny_table.encoded()
+        assert encoded.shape == (tiny_table.num_rows, tiny_table.num_columns)
+        assert encoded.dtype == np.int64
+        for index, column in enumerate(tiny_table.columns):
+            assert encoded[:, index].max() < column.domain_size
+
+    def test_column_lookup_and_index(self, tiny_table):
+        assert tiny_table.column("city").name == "city"
+        assert tiny_table.column_index("year") == 1
+        with pytest.raises(KeyError):
+            tiny_table.column("nope")
+        with pytest.raises(KeyError):
+            tiny_table.column_index("nope")
+
+    def test_log_joint_size(self):
+        table = Table.from_dict({"a": [1, 2], "b": [1, 2], "c": [1, 2]})
+        assert table.log_joint_size() == pytest.approx(np.log10(8))
+
+    def test_project_and_take_rows(self, tiny_table):
+        projected = tiny_table.project(["stars", "city"])
+        assert projected.column_names == ["stars", "city"]
+        subset = tiny_table.take_rows(np.arange(10))
+        assert subset.num_rows == 10
+
+    def test_concat_same_schema(self, tiny_table):
+        doubled = tiny_table.concat(tiny_table)
+        assert doubled.num_rows == 2 * tiny_table.num_rows
+
+    def test_concat_schema_mismatch_rejected(self, tiny_table):
+        with pytest.raises(ValueError):
+            tiny_table.concat(tiny_table.project(["city"]))
+
+    def test_sample_rows(self, tiny_table, rng):
+        sample = tiny_table.sample_rows(50, rng)
+        assert sample.shape == (50, tiny_table.num_columns)
+
+    def test_raw_row(self, tiny_table):
+        row = tiny_table.raw_row(0)
+        assert len(row) == tiny_table.num_columns
+
+    def test_in_memory_bytes_positive(self, tiny_table):
+        assert tiny_table.in_memory_bytes() > 0

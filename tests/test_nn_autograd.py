@@ -1,0 +1,221 @@
+"""Unit and property tests for the autodiff engine (repro.nn.autograd).
+
+Every differentiable operation is checked against numerical (finite
+difference) gradients, plus broadcasting and graph-mechanics corner cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, concatenate, no_grad
+
+
+def numerical_gradient(function, value: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function."""
+    gradient = np.zeros_like(value, dtype=np.float64)
+    flat = value.reshape(-1)
+    flat_grad = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function(value)
+        flat[index] = original - epsilon
+        lower = function(value)
+        flat[index] = original
+        flat_grad[index] = (upper - lower) / (2 * epsilon)
+    return gradient
+
+
+def check_gradient(build_loss, shape, seed=0, atol=1e-5):
+    """Compare autodiff and numerical gradients of a scalar loss."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    tensor = Tensor(data.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+
+    def scalar(value: np.ndarray) -> float:
+        return build_loss(Tensor(value)).item()
+
+    expected = numerical_gradient(scalar, data.copy())
+    np.testing.assert_allclose(tensor.grad, expected, atol=atol)
+
+
+class TestElementwiseGradients:
+    def test_add_mul(self):
+        check_gradient(lambda t: ((t * 3.0 + 1.5) * t).sum(), (4, 3))
+
+    def test_sub_div(self):
+        check_gradient(lambda t: ((t - 2.0) / 4.0).sum(), (5,))
+
+    def test_pow(self):
+        check_gradient(lambda t: (t ** 3.0).sum(), (3, 2), seed=2)
+
+    def test_relu(self):
+        check_gradient(lambda t: (t.relu() * 2.0).sum(), (6, 4))
+
+    def test_exp_log(self):
+        check_gradient(lambda t: ((t.exp() + 1.0).log()).sum(), (4, 4))
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh().sum(), (7,))
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid().sum(), (3, 5))
+
+    def test_neg(self):
+        check_gradient(lambda t: (-t).sum(), (2, 2))
+
+
+class TestMatrixAndShapeGradients:
+    def test_matmul(self):
+        rng = np.random.default_rng(0)
+        other = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t @ Tensor(other)).sum(), (5, 3))
+
+    def test_matmul_right_operand(self):
+        rng = np.random.default_rng(1)
+        left = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (Tensor(left) @ t).sum(), (3, 6))
+
+    def test_transpose(self):
+        check_gradient(lambda t: (t.T @ t).sum(), (4, 2))
+
+    def test_reshape(self):
+        check_gradient(lambda t: (t.reshape(6, 2) * 2.0).sum(), (3, 4))
+
+    def test_getitem(self):
+        check_gradient(lambda t: (t[1:3] * 3.0).sum(), (5, 2))
+
+    def test_take_rows(self):
+        indices = np.array([0, 2, 2, 1])
+        check_gradient(lambda t: t.take_rows(indices).sum(), (3, 4))
+
+    def test_gather(self):
+        indices = np.array([1, 0, 2, 1])
+        check_gradient(lambda t: t.gather(indices).sum(), (4, 3))
+
+    def test_concatenate(self):
+        rng = np.random.default_rng(3)
+        other = rng.normal(size=(4, 2))
+        check_gradient(
+            lambda t: concatenate([t, Tensor(other)], axis=1).sum(), (4, 3))
+
+    def test_masked_fill(self):
+        mask = np.array([[True, False, False], [False, True, False]])
+        check_gradient(lambda t: t.masked_fill(mask, 0.0).sum(), (2, 3))
+
+
+class TestReductionsAndSoftmax:
+    def test_sum_axis(self):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2.0).sum(), (5, 3))
+
+    def test_sum_keepdims(self):
+        check_gradient(lambda t: (t - t.sum(axis=1, keepdims=True)).sum(), (4, 3))
+
+    def test_mean(self):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2.0).sum(), (3, 4))
+
+    def test_log_softmax_gradient(self):
+        check_gradient(lambda t: t.log_softmax(axis=-1).gather(np.array([0, 1, 2])).sum(),
+                       (3, 4))
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        tensor = Tensor(rng.normal(size=(6, 9)) * 10)
+        np.testing.assert_allclose(tensor.softmax(axis=-1).numpy().sum(axis=1),
+                                   np.ones(6), atol=1e-12)
+
+    def test_log_softmax_stability_with_large_logits(self):
+        tensor = Tensor(np.array([[1e6, 1e6 - 1.0]]))
+        result = tensor.log_softmax(axis=-1).numpy()
+        assert np.all(np.isfinite(result))
+
+
+class TestBroadcasting:
+    def test_bias_broadcast(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(5, 3))
+        check_gradient(lambda t: (Tensor(matrix) + t).sum(), (3,))
+
+    def test_scalar_broadcast(self):
+        check_gradient(lambda t: (t * 2.5 + 7.0).sum(), (1,))
+
+    def test_column_broadcast(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (Tensor(matrix) * t).sum(), (4, 1))
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar_or_grad(self):
+        tensor = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (tensor * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        tensor = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            tensor.backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        (tensor * 2.0).sum().backward()
+        (tensor * 2.0).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.full(3, 4.0))
+
+    def test_zero_grad(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        (tensor * 2.0).sum().backward()
+        tensor.zero_grad()
+        assert tensor.grad is None
+
+    def test_no_grad_context(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            result = (tensor * 2.0).sum()
+        assert not result.requires_grad
+
+    def test_detach(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        assert not tensor.detach().requires_grad
+
+    def test_reused_node_gets_correct_gradient(self):
+        tensor = Tensor(np.array([2.0]), requires_grad=True)
+        result = tensor * tensor + tensor
+        result.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.array([5.0]))
+
+    def test_item_and_shape(self):
+        tensor = Tensor(np.array([[3.5]]))
+        assert tensor.item() == pytest.approx(3.5)
+        assert tensor.shape == (1, 1)
+        assert tensor.ndim == 2
+        assert len(tensor) == 1
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, values):
+        tensor = Tensor(np.array([values]))
+        probs = tensor.softmax(axis=-1).numpy()
+        assert probs.min() >= 0
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_shape(self, rows, cols):
+        left = Tensor(np.ones((rows, 3)))
+        right = Tensor(np.ones((3, cols)))
+        assert (left @ right).shape == (rows, cols)
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_numpy(self, values):
+        array = np.array(values)
+        assert Tensor(array).sum().item() == pytest.approx(array.sum(), rel=1e-9)

@@ -1,0 +1,208 @@
+"""Tests for layers, losses, optimisers and serialisation of the nn substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLinearAndMasked:
+    def test_linear_shapes_and_bias(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        output = layer(nn.Tensor(np.ones((5, 4))))
+        assert output.shape == (5, 3)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_masked_linear_blocks_connections(self):
+        layer = nn.MaskedLinear(3, 2, rng=np.random.default_rng(0))
+        mask = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 0.0]])
+        layer.set_mask(mask)
+        base = layer(nn.Tensor(np.zeros((1, 3)))).numpy()
+        # Changing input 2 must not affect any output; input 0 only output 0.
+        changed = layer(nn.Tensor(np.array([[0.0, 0.0, 5.0]]))).numpy()
+        np.testing.assert_allclose(changed, base)
+        changed = layer(nn.Tensor(np.array([[5.0, 0.0, 0.0]]))).numpy()
+        assert changed[0, 0] != pytest.approx(base[0, 0])
+        assert changed[0, 1] == pytest.approx(base[0, 1])
+
+    def test_masked_linear_rejects_bad_mask_shape(self):
+        layer = nn.MaskedLinear(3, 2)
+        with pytest.raises(ValueError):
+            layer.set_mask(np.ones((2, 3)))
+
+    def test_embedding_lookup_and_gradient(self):
+        embedding = nn.Embedding(10, 4, rng=np.random.default_rng(0))
+        indices = np.array([1, 1, 3])
+        output = embedding(indices)
+        assert output.shape == (3, 4)
+        output.sum().backward()
+        # Row 1 was used twice, row 3 once, others never.
+        assert embedding.weight.grad[1].sum() == pytest.approx(8.0)
+        assert embedding.weight.grad[3].sum() == pytest.approx(4.0)
+        assert embedding.weight.grad[0].sum() == pytest.approx(0.0)
+
+    def test_sequential_and_relu(self):
+        model = nn.Sequential(nn.Linear(3, 5), nn.ReLU(), nn.Linear(5, 2))
+        assert len(model) == 3
+        assert model(nn.Tensor(np.ones((4, 3)))).shape == (4, 2)
+
+    def test_dropout_train_vs_eval(self):
+        dropout = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        data = nn.Tensor(np.ones((100, 10)))
+        dropout.train()
+        trained = dropout(data).numpy()
+        assert (trained == 0.0).any()
+        dropout.eval()
+        np.testing.assert_allclose(dropout(data).numpy(), data.numpy())
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestModuleMechanics:
+    def test_named_parameters_cover_nested_modules(self):
+        model = nn.Sequential(nn.Linear(2, 3), nn.ReLU(), nn.Linear(3, 1))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4  # two weights + two biases
+        assert len(set(names)) == 4
+
+    def test_num_parameters_and_size(self):
+        layer = nn.Linear(10, 5)
+        assert layer.num_parameters() == 10 * 5 + 5
+        assert layer.size_bytes() == layer.num_parameters() * 4
+
+    def test_state_dict_roundtrip(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        clone = nn.Sequential(nn.Linear(3, 4, rng=np.random.default_rng(9)),
+                              nn.ReLU(), nn.Linear(4, 2, rng=np.random.default_rng(8)))
+        clone.load_state_dict(model.state_dict())
+        data = nn.Tensor(np.random.default_rng(0).normal(size=(5, 3)))
+        np.testing.assert_allclose(model(data).numpy(), clone(data).numpy())
+
+    def test_load_state_dict_mismatch_raises(self):
+        model = nn.Linear(3, 4)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.zeros((3, 4))})  # missing bias name
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        model = nn.Linear(3, 4)
+        state = model.state_dict()
+        state["weight"] = np.zeros((4, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_save_and_load_npz(self, tmp_path):
+        model = nn.Linear(6, 2)
+        path = tmp_path / "model.npz"
+        nn.save_module(model, path)
+        clone = nn.Linear(6, 2, rng=np.random.default_rng(7))
+        nn.load_into_module(clone, path)
+        np.testing.assert_allclose(model.weight.data, clone.weight.data)
+
+    def test_zero_grad_clears_all(self):
+        model = nn.Linear(3, 2)
+        loss = model(nn.Tensor(np.ones((4, 3)))).sum()
+        loss.backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = nn.Tensor(np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]])))
+        loss = nn.cross_entropy(logits, np.array([0, 1]))
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_nll_loss(self):
+        log_probs = nn.Tensor(np.log(np.full((3, 4), 0.25)))
+        loss = nn.nll_loss(log_probs, np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(-np.log(0.25))
+
+    def test_mse_loss(self):
+        prediction = nn.Tensor(np.array([1.0, 2.0, 3.0]))
+        assert nn.mse_loss(prediction, np.array([1.0, 2.0, 5.0])).item() == pytest.approx(4.0 / 3)
+
+    def test_binary_cross_entropy_bounds(self):
+        prediction = nn.Tensor(np.array([0.9, 0.1]))
+        loss = nn.binary_cross_entropy(prediction, np.array([1.0, 0.0]))
+        assert loss.item() == pytest.approx(-np.log(0.9), rel=1e-6)
+
+    def test_cross_entropy_decreases_with_training_signal(self):
+        rng = np.random.default_rng(0)
+        layer = nn.Linear(4, 3, rng=rng)
+        data = rng.normal(size=(64, 4))
+        targets = (data[:, 0] > 0).astype(int)
+        optimizer = nn.Adam(layer.parameters(), lr=1e-2)
+        losses = []
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = nn.cross_entropy(layer(nn.Tensor(data)), targets)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_parameter():
+        return nn.Parameter(np.array([5.0, -3.0]))
+
+    def test_sgd_converges_on_quadratic(self):
+        param = self._quadratic_parameter()
+        optimizer = nn.SGD([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            (param * param).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.zeros(2), atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        param = self._quadratic_parameter()
+        optimizer = nn.SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            optimizer.zero_grad()
+            (param * param).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.zeros(2), atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        param = self._quadratic_parameter()
+        optimizer = nn.Adam([param], lr=0.2)
+        for _ in range(300):
+            optimizer.zero_grad()
+            (param * param).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.zeros(2), atol=1e-3)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = nn.Parameter(np.array([1.0]))
+        optimizer = nn.SGD([param], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            optimizer.zero_grad()
+            (param * 0.0).sum().backward()
+            optimizer.step()
+        assert abs(param.data[0]) < 0.1
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=1e-3)
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([nn.Parameter(np.zeros(1))], lr=0.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        param = nn.Parameter(np.array([1.0]))
+        optimizer = nn.Adam([param], lr=0.1)
+        optimizer.step()  # no gradient accumulated; must not fail or move
+        assert param.data[0] == pytest.approx(1.0)

@@ -1,0 +1,224 @@
+"""Tests for predicates, queries, exact execution, workloads and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Column, Table
+from repro.query import (
+    ErrorSummary,
+    OODWorkloadGenerator,
+    Operator,
+    Predicate,
+    Query,
+    WorkloadGenerator,
+    bucketize,
+    q_error,
+    qualifying_rows,
+    selectivity_bucket,
+    summarize_errors,
+    true_cardinality,
+    true_selectivity,
+)
+
+
+@pytest.fixture()
+def small_table() -> Table:
+    return Table.from_dict({
+        "city": ["SF", "SF", "Portland", "Austin", "Austin", "Austin"],
+        "year": [2015, 2016, 2016, 2017, 2018, 2018],
+        "stars": [3, 4, 5, 4, 2, 5],
+    }, name="checkins")
+
+
+class TestPredicateMasks:
+    def test_equality(self, small_table):
+        mask = Predicate("city", Operator.EQ, "SF").valid_codes(small_table.column("city"))
+        assert mask.sum() == 1
+
+    def test_equality_absent_value(self, small_table):
+        mask = Predicate("city", Operator.EQ, "Tokyo").valid_codes(small_table.column("city"))
+        assert mask.sum() == 0
+
+    def test_not_equal(self, small_table):
+        mask = Predicate("city", Operator.NEQ, "SF").valid_codes(small_table.column("city"))
+        assert mask.sum() == small_table.column("city").domain_size - 1
+
+    def test_range_operators(self, small_table):
+        year = small_table.column("year")
+        assert Predicate("year", Operator.LE, 2016).valid_codes(year).sum() == 2
+        assert Predicate("year", Operator.LT, 2016).valid_codes(year).sum() == 1
+        assert Predicate("year", Operator.GE, 2017).valid_codes(year).sum() == 2
+        assert Predicate("year", Operator.GT, 2017).valid_codes(year).sum() == 1
+
+    def test_range_with_absent_literal(self, small_table):
+        year = small_table.column("year")
+        # 2016.5 is not in the domain; <= must still select {2015, 2016}.
+        assert Predicate("year", Operator.LE, 2016.5).valid_codes(year).sum() == 2
+
+    def test_in_operator(self, small_table):
+        mask = Predicate("city", Operator.IN, ["SF", "Austin", "Tokyo"]).valid_codes(
+            small_table.column("city"))
+        assert mask.sum() == 2
+
+    def test_in_requires_iterable(self):
+        with pytest.raises(ValueError):
+            Predicate("city", Operator.IN, "SF")
+
+    def test_between(self, small_table):
+        mask = Predicate("year", Operator.BETWEEN, (2016, 2017)).valid_codes(
+            small_table.column("year"))
+        assert mask.sum() == 2
+
+    def test_between_out_of_order_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("year", Operator.BETWEEN, (2018, 2016))
+
+    def test_operator_accepts_string_form(self):
+        predicate = Predicate("year", "<=", 2016)
+        assert predicate.operator is Operator.LE
+
+
+class TestQuery:
+    def test_from_tuples_and_str(self, small_table):
+        query = Query.from_tuples([("city", "=", "SF"), ("year", ">=", 2016)])
+        assert query.num_filters == 2
+        assert "city" in str(query)
+
+    def test_column_masks_wildcards(self, small_table):
+        query = Query.from_tuples([("year", ">=", 2017)])
+        masks = query.column_masks(small_table)
+        assert masks[small_table.column_index("city")] is None
+        assert masks[small_table.column_index("year")] is not None
+
+    def test_conjunction_on_same_column_intersects(self, small_table):
+        query = Query.from_tuples([("year", ">=", 2016), ("year", "<=", 2017)])
+        mask = query.column_masks(small_table)[small_table.column_index("year")]
+        assert mask.sum() == 2
+
+    def test_region_size(self, small_table):
+        query = Query.from_tuples([("city", "=", "SF")])
+        # 1 city value × 4 years × 4 star levels.
+        assert query.region_size(small_table) == pytest.approx(16.0)
+
+    def test_empty_query_region_is_full_joint(self, small_table):
+        assert Query([]).region_size(small_table) == pytest.approx(
+            np.prod(small_table.domain_sizes))
+
+
+class TestExecutor:
+    def test_true_cardinality(self, small_table):
+        query = Query.from_tuples([("city", "=", "Austin"), ("stars", ">=", 4)])
+        assert true_cardinality(small_table, query) == 2
+        assert true_selectivity(small_table, query) == pytest.approx(2 / 6)
+
+    def test_empty_query_selects_everything(self, small_table):
+        assert true_selectivity(small_table, Query([])) == pytest.approx(1.0)
+
+    def test_contradictory_query_selects_nothing(self, small_table):
+        query = Query.from_tuples([("city", "=", "SF"), ("city", "=", "Austin")])
+        assert true_cardinality(small_table, query) == 0
+
+    def test_qualifying_rows_mask(self, small_table):
+        rows = qualifying_rows(small_table, Query.from_tuples([("year", ">", 2017)]))
+        assert rows.sum() == 2
+
+
+class TestWorkloadGenerator:
+    def test_filter_count_bounds(self, medium_table):
+        generator = WorkloadGenerator(medium_table, min_filters=2, max_filters=5, seed=0)
+        for query in generator.generate(50):
+            assert 2 <= query.num_filters <= 5
+
+    def test_small_domains_get_equality_only(self, medium_table):
+        generator = WorkloadGenerator(medium_table, min_filters=3, max_filters=7, seed=1)
+        for query in generator.generate(100):
+            for predicate in query:
+                if medium_table.column(predicate.column).domain_size < 10:
+                    assert predicate.operator is Operator.EQ
+
+    def test_literals_come_from_data(self, medium_table):
+        generator = WorkloadGenerator(medium_table, min_filters=2, max_filters=4, seed=2)
+        for query in generator.generate(50):
+            for predicate in query:
+                domain = medium_table.column(predicate.column).domain
+                assert predicate.value in domain
+
+    def test_in_distribution_queries_are_often_nonempty(self, medium_table):
+        generator = WorkloadGenerator(medium_table, min_filters=2, max_filters=4, seed=3)
+        labeled = generator.generate_labeled(40)
+        nonempty = sum(1 for item in labeled if item.cardinality > 0)
+        assert nonempty > len(labeled) * 0.5
+
+    def test_ood_queries_are_mostly_empty(self, medium_table):
+        generator = OODWorkloadGenerator(medium_table, min_filters=4, max_filters=7, seed=4)
+        labeled = generator.generate_labeled(40)
+        empty = sum(1 for item in labeled if item.cardinality == 0)
+        assert empty > len(labeled) * 0.6
+
+    def test_determinism(self, medium_table):
+        first = WorkloadGenerator(medium_table, seed=9).generate(10)
+        second = WorkloadGenerator(medium_table, seed=9).generate(10)
+        assert [str(q) for q in first] == [str(q) for q in second]
+
+    def test_invalid_bounds(self, medium_table):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(medium_table, min_filters=0)
+
+    def test_iterator_protocol(self, medium_table):
+        generator = WorkloadGenerator(medium_table, seed=1)
+        iterator = iter(generator)
+        assert next(iterator).num_filters >= 1
+
+
+class TestMetrics:
+    def test_q_error_symmetric_and_floored(self):
+        assert q_error(10, 100) == pytest.approx(10.0)
+        assert q_error(100, 10) == pytest.approx(10.0)
+        assert q_error(0, 0) == pytest.approx(1.0)
+        assert q_error(0, 50) == pytest.approx(50.0)
+
+    def test_q_error_never_below_one(self):
+        assert q_error(5, 5) == pytest.approx(1.0)
+
+    @given(st.floats(0, 1e6), st.floats(0, 1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_q_error_property(self, estimate, actual):
+        error = q_error(estimate, actual)
+        assert error >= 1.0
+        assert error == pytest.approx(q_error(actual, estimate))
+
+    def test_selectivity_buckets(self):
+        assert selectivity_bucket(0.5) == "high"
+        assert selectivity_bucket(0.01) == "medium"
+        assert selectivity_bucket(0.001) == "low"
+
+    def test_summarize_errors_quantiles(self):
+        summary = summarize_errors([1.0] * 99 + [100.0])
+        assert summary.median == pytest.approx(1.0)
+        assert summary.maximum == pytest.approx(100.0)
+        assert summary.count == 100
+
+    def test_summarize_empty(self):
+        summary = summarize_errors([])
+        assert summary.count == 0
+        assert np.isnan(summary.median)
+
+    def test_bucketize_groups_by_selectivity(self):
+        errors = [2.0, 3.0, 4.0]
+        selectivities = [0.5, 0.01, 0.0001]
+        grouped = bucketize(errors, selectivities)
+        assert grouped["high"].median == pytest.approx(2.0)
+        assert grouped["medium"].median == pytest.approx(3.0)
+        assert grouped["low"].median == pytest.approx(4.0)
+
+    def test_bucketize_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bucketize([1.0], [0.1, 0.2])
+
+    def test_error_summary_as_dict(self):
+        summary = ErrorSummary(count=1, median=1, p95=1, p99=1, maximum=1)
+        assert set(summary.as_dict()) == {"count", "median", "p95", "p99", "max"}
