@@ -45,6 +45,19 @@ BENCH_SCALE: ExperimentScale = dataclasses.replace(
 )
 
 
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark as ``slow`` so tier-1 CI can deselect the suite.
+
+    The tier-1 test job runs ``pytest -m "not slow"``; running the
+    reproduction benchmarks stays an explicit choice (plain ``pytest
+    benchmarks`` or ``-m slow``).
+    """
+    benchmarks_dir = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.path).startswith(benchmarks_dir):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
     return BENCH_SCALE

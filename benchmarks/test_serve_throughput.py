@@ -1,0 +1,62 @@
+"""Serving throughput — batched ``repro.serve`` engine vs sequential sampling.
+
+Not a reproduction of a paper table: this benchmark guards the serving-layer
+claim that micro-batching plus conditional caching answers a workload several
+times faster than the paper's one-query-at-a-time evaluation loop, without
+changing the estimates (both modes use the same per-query random streams, so
+the results agree to float round-off).
+
+The CI ``bench-smoke`` job runs this file with ``REPRO_BENCH_SMOKE=1``, which
+shrinks the configuration to finish in seconds and drops the speedup floor
+(tiny workloads underutilise the batch path); the JSON report it writes to
+``results/serve_throughput.json`` is uploaded as a build artifact either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from conftest import save_report
+
+from repro.bench import serve_throughput
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+@pytest.mark.slow
+def test_serve_throughput(bench_scale, results_dir):
+    if _SMOKE:
+        scale = dataclasses.replace(bench_scale, serve_rows=800, serve_queries=16,
+                                    serve_samples=300, serve_epochs=2,
+                                    serve_batch_size=8)
+    else:
+        scale = bench_scale
+    result = serve_throughput(scale=scale)
+    save_report(results_dir, "serve_throughput", result["text"])
+    with open(os.path.join(results_dir, "serve_throughput.json"), "w") as handle:
+        json.dump({key: result[key] for key in
+                   ("speedup", "cold_speedup", "max_estimate_drift",
+                    "sequential", "batched", "batched_cold",
+                    "num_queries")}, handle, indent=1)
+
+    # Batching must not change the answers: same per-query streams on both
+    # sides, so any difference is float round-off of skipped wildcard columns.
+    assert result["max_estimate_drift"] <= 1e-9
+
+    if _SMOKE:
+        assert result["speedup"] > 0.0
+        assert result["cold_speedup"] > 0.0
+    else:
+        assert result["num_queries"] == 64
+        # The headline claim: batched serving is at least 3x the sequential
+        # sampler's throughput on the standard 64-query workload.  The gate is
+        # the steady-state (warm-cache) run, which clears 3x with a wide
+        # margin (~8x here); the cold first pass typically lands around 3.4x
+        # but sits too close to 3.0 to assert against timing noise, so it
+        # only gets a sanity floor.
+        assert result["speedup"] >= 3.0
+        assert result["cold_speedup"] >= 1.5

@@ -7,6 +7,7 @@ from .experiments import (
     figure6_estimation_latency,
     figure7_entropy_gap,
     figure8_column_scaling,
+    serve_throughput,
     table3_dmv_accuracy,
     table4_conviva_accuracy,
     table5_ood_robustness,
@@ -41,6 +42,7 @@ __all__ = [
     "figure7_entropy_gap",
     "figure8_column_scaling",
     "table8_data_shift",
+    "serve_throughput",
     "EXPERIMENTS",
     "run_experiment",
     "list_experiments",

@@ -60,7 +60,7 @@ from ..query import (
     summarize_errors,
     true_selectivity,
 )
-from .harness import accuracy_by_bucket, compare_estimators, run_estimator
+from .harness import accuracy_by_bucket, compare_estimators
 from .reports import (
     format_accuracy_table,
     format_latency_table,
@@ -545,3 +545,69 @@ def table8_data_shift(scale: ExperimentScale | None = None) -> dict:
                                 "stale_p90", "stale_max"],
                          "Table 8: robustness to data shifts (DMV partitioned by date)")
     return {"results": results, "text": text}
+
+
+def serve_throughput(scale: ExperimentScale | None = None) -> dict:
+    """Beyond the paper: throughput of the batched serving engine.
+
+    Serves the same workload three times through the same trained Naru model:
+    one query at a time (the paper's §5 evaluation regime), then twice through
+    :class:`repro.serve.EstimationEngine` with micro-batching plus the LRU
+    conditional cache — a cold first pass and a warm steady-state pass.  It
+    reports queries/second, the cold and warm speedups, and the largest
+    per-query estimate difference (bounded by float round-off: all runs use
+    the same per-query random streams).
+    """
+    from ..data import make_census
+    from ..serve import EstimationEngine, run_sequential
+
+    scale = scale or active_scale()
+    table = make_census(scale.serve_rows)
+    config = NaruConfig(epochs=scale.serve_epochs, hidden_sizes=(64, 64),
+                        batch_size=256, progressive_samples=scale.serve_samples,
+                        seed=0)
+    naru = NaruEstimator(table, config)
+    naru.fit()
+    generator = WorkloadGenerator(table, min_filters=5,
+                                  max_filters=min(11, table.num_columns), seed=0)
+    queries = generator.generate(scale.serve_queries)
+
+    sequential = run_sequential(naru, queries, num_samples=scale.serve_samples,
+                                seed=0)
+    engine = EstimationEngine(naru, batch_size=scale.serve_batch_size,
+                              num_samples=scale.serve_samples, seed=0)
+    cold = engine.run(queries)      # first sight of the workload, cache empty
+    warm = engine.run(queries)      # steady state: conditional cache is hot
+
+    drift = max(
+        float(np.max(np.abs(cold.selectivities - sequential.selectivities))),
+        float(np.max(np.abs(warm.selectivities - cold.selectivities))))
+    cold_speedup = (sequential.stats.elapsed_s / cold.stats.elapsed_s
+                    if cold.stats.elapsed_s > 0 else float("inf"))
+    warm_speedup = (sequential.stats.elapsed_s / warm.stats.elapsed_s
+                    if warm.stats.elapsed_s > 0 else float("inf"))
+    cache = warm.stats.cache or {}
+    rows = [
+        {"mode": "sequential", "queries_per_second": sequential.stats.queries_per_second,
+         "elapsed_s": sequential.stats.elapsed_s, "batches": sequential.stats.num_batches},
+        {"mode": "batched-cold", "queries_per_second": cold.stats.queries_per_second,
+         "elapsed_s": cold.stats.elapsed_s, "batches": cold.stats.num_batches},
+        {"mode": "batched-warm", "queries_per_second": warm.stats.queries_per_second,
+         "elapsed_s": warm.stats.elapsed_s, "batches": warm.stats.num_batches},
+    ]
+    text = format_series(
+        rows, ["mode", "queries_per_second", "elapsed_s", "batches"],
+        f"Serving throughput ({scale.serve_queries} queries, "
+        f"{scale.serve_samples} samples, batch={scale.serve_batch_size}): "
+        f"{cold_speedup:.2f}x cold / {warm_speedup:.2f}x warm speedup, "
+        f"cache hit rate {cache.get('hit_rate', 0.0):.1%}")
+    return {
+        "text": text,
+        "speedup": warm_speedup,
+        "cold_speedup": cold_speedup,
+        "max_estimate_drift": drift,
+        "sequential": sequential.stats.as_dict(),
+        "batched": warm.stats.as_dict(),
+        "batched_cold": cold.stats.as_dict(),
+        "num_queries": len(queries),
+    }

@@ -32,6 +32,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
                 experiments.figure8_column_scaling),
     "table8": ("Robustness to data shifts",
                experiments.table8_data_shift),
+    "serve": ("Serving throughput: batched engine vs sequential sampling",
+              experiments.serve_throughput),
 }
 
 

@@ -45,6 +45,13 @@ class ExperimentScale:
     oracle_queries: int
     shift_queries: int
     shift_partitions: int
+    # Serving-throughput experiment (repro.serve); defaulted so existing
+    # presets and overrides keep working unchanged.
+    serve_rows: int = 2_000
+    serve_queries: int = 64
+    serve_samples: int = 1_500
+    serve_batch_size: int = 16
+    serve_epochs: int = 8
 
 
 SMOKE = ExperimentScale(
@@ -93,6 +100,11 @@ PAPER = ExperimentScale(
     oracle_queries=50,
     shift_queries=200,
     shift_partitions=5,
+    serve_rows=6_000,
+    serve_queries=256,
+    serve_samples=2_000,
+    serve_batch_size=32,
+    serve_epochs=15,
 )
 
 

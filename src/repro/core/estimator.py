@@ -160,6 +160,42 @@ class NaruEstimator(CardinalityEstimator):
             raise ValueError(f"unknown estimation method {method!r}")
         return float(min(max(estimate, 0.0), 1.0))
 
+    def estimate_selectivity_batch(self, queries: list[Query],
+                                   num_samples: int | None = None,
+                                   rngs: list[np.random.Generator] | None = None
+                                   ) -> np.ndarray:
+        """Estimate many queries with shared progressive-sampling passes.
+
+        All queries are packed into one batched sampler run (see
+        :meth:`repro.core.progressive.ProgressiveSampler.estimate_selectivity_batch`),
+        so the whole batch costs at most ``num_columns`` model forward rounds.
+        A batch of one is exactly the sequential progressive path.  For
+        workload-scale serving with micro-batching and conditional caching use
+        :class:`repro.serve.EstimationEngine`, which feeds this same machinery.
+
+        Parameters
+        ----------
+        queries:
+            The queries to estimate (always via progressive sampling).
+        num_samples:
+            Sample paths per query; defaults to ``config.progressive_samples``.
+        rngs:
+            Optional per-query random generators (used by the serving engine
+            to make estimates independent of micro-batch boundaries).
+
+        Returns
+        -------
+        numpy.ndarray
+            One selectivity in ``[0, 1]`` per query, in input order.
+        """
+        if not self._fitted:
+            raise RuntimeError("call fit() before estimating queries")
+        masks_batch = [query.column_masks(self.table) for query in queries]
+        samples = num_samples or self.config.progressive_samples
+        estimates = self._sampler.estimate_selectivity_batch(
+            masks_batch, num_samples=samples, rngs=rngs)
+        return np.clip(estimates, 0.0, 1.0)
+
     def point_likelihood(self, values: dict[str, object]) -> float:
         """Probability of one fully specified tuple (equality on every column).
 

@@ -81,8 +81,16 @@ class AutoregressiveModel(nn.Module):
         Columns at or after ``column_index`` in the autoregressive order are
         ignored by construction, so their entries in ``codes`` may hold
         arbitrary placeholder values.
+
+        The batch contract is row-independent: each output row depends only on
+        the corresponding input row, so callers (the batched progressive
+        sampler, the serving-layer conditional cache) are free to evaluate any
+        subset of rows in any grouping — including the empty batch, which
+        returns an empty ``(0, |A_i|)`` matrix without touching the network.
         """
         codes = np.asarray(codes, dtype=np.int64)
+        if codes.shape[0] == 0:
+            return np.empty((0, self.domain_sizes_list[column_index]))
         with nn.no_grad():
             logits = self.forward_logits(codes)[column_index]
             return np.exp(logits.log_softmax(axis=-1).numpy())

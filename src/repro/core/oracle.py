@@ -77,10 +77,16 @@ class OracleModel:
         Rows whose prefix never occurs in the data receive the column's
         unconditional marginal (such prefixes only arise on zero-weight sample
         paths, so any valid distribution would do).
+
+        Like the neural models, the output is row-independent: any subset of
+        rows (including the empty batch) may be evaluated in any grouping and
+        yields the same per-row distributions.
         """
         codes = np.asarray(codes, dtype=np.int64)
         prefix, key_to_group, conditionals, marginal = self._column_grouping(column_index)
         output = np.empty((codes.shape[0], marginal.size))
+        if codes.shape[0] == 0:
+            return output
         if not prefix:
             output[:] = marginal
             return output

@@ -7,6 +7,27 @@ All three integration schemes operate on the *valid-code masks* produced by
 exposing the :class:`repro.core.made.AutoregressiveModel` protocol —
 ``conditional_probs``, ``log_prob``, ``domain_sizes`` and ``order`` — so the
 same code runs against neural models and the exact oracle model.
+
+Batched estimation
+------------------
+:meth:`ProgressiveSampler.estimate_selectivity_batch` packs many queries into
+the *same* model forward passes: the sample paths of every in-flight query are
+stacked into one code matrix, so a micro-batch of ``Q`` queries still costs at
+most ``num_columns`` ``conditional_probs`` calls per round instead of
+``Q × num_columns``.  Two §5.2-style optimisations ride along:
+
+* **wildcard skipping** — columns that appear after the last constrained
+  column (in the model's autoregressive order) of *every* in-flight query are
+  never sampled: their truncated conditional is the full conditional, whose
+  mass marginalises to one, and no later sampled column conditions on them;
+* **dead-row skipping** — sample paths whose weight has hit zero (the query
+  region has zero mass under their prefix) are dropped from subsequent model
+  evaluations instead of being carried along on a uniform-fallback
+  distribution.
+
+Both optimisations leave the returned estimates unchanged (up to float
+round-off of the wildcard-column mass): the single-query
+:meth:`ProgressiveSampler.estimate_selectivity` is simply a batch of one.
 """
 
 from __future__ import annotations
@@ -17,14 +38,18 @@ import numpy as np
 
 __all__ = ["ProgressiveSampler", "UniformRegionSampler", "enumerate_region"]
 
+#: Row-chunk size of the per-column truncate/renormalise/sample arithmetic in
+#: batched runs; large micro-batches stack enough sample paths that one-shot
+#: vectorisation would fall out of the CPU caches.
+_ROW_CHUNK = 8192
 
-def _sample_rows_from_probs(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-    """Draw one categorical sample per row of a ``(rows, categories)`` matrix."""
+
+def _sample_rows_from_probs(probs: np.ndarray, rng_draws: np.ndarray) -> np.ndarray:
+    """Draw one categorical sample per row given uniform draws in ``[0, 1)``."""
     cumulative = np.cumsum(probs, axis=1)
     # Guard against rounding: force the last cumulative value to 1.
     cumulative[:, -1] = 1.0
-    draws = rng.random((probs.shape[0], 1))
-    return np.argmax(cumulative >= draws, axis=1)
+    return np.argmax(cumulative >= rng_draws, axis=1)
 
 
 class ProgressiveSampler:
@@ -36,14 +61,16 @@ class ProgressiveSampler:
     range ``R_i``, records the in-range mass, renormalises and samples the next
     prefix value from the *truncated* conditional.  The product of the recorded
     masses is an unbiased estimate of the query density; paths are batched so a
-    query costs ``num_columns`` model forward passes regardless of the number
-    of samples.
+    query costs at most ``num_columns`` model forward passes regardless of the
+    number of samples — and a micro-batch of queries shares those passes, see
+    :meth:`estimate_selectivity_batch`.
     """
 
     def __init__(self, model, seed: int = 0) -> None:
         self.model = model
         self._rng = np.random.default_rng(seed)
 
+    # ------------------------------------------------------------------ #
     def estimate_selectivity(self, masks: list[np.ndarray | None],
                              num_samples: int = 1000) -> float:
         """Estimate the probability mass inside the query region.
@@ -55,39 +82,112 @@ class ProgressiveSampler:
         num_samples:
             Number of progressive sample paths (batched into one pass).
         """
+        return float(self.estimate_selectivity_batch([masks],
+                                                     num_samples=num_samples)[0])
+
+    def estimate_selectivity_batch(
+            self,
+            masks_batch: list[list[np.ndarray | None]],
+            num_samples: int = 1000,
+            rngs: list[np.random.Generator] | None = None) -> np.ndarray:
+        """Estimate many query regions with shared model forward passes.
+
+        The sample paths of all queries are stacked into a single
+        ``(num_queries * num_samples, num_columns)`` code matrix so every
+        column costs one ``conditional_probs`` call for the whole micro-batch.
+
+        Parameters
+        ----------
+        masks_batch:
+            One mask list (as accepted by :meth:`estimate_selectivity`) per
+            query.
+        num_samples:
+            Progressive sample paths *per query*.
+        rngs:
+            Optional one random generator per query.  Supplying per-query
+            generators makes each query's estimate independent of how the
+            workload was chopped into micro-batches — the
+            :class:`repro.serve.EstimationEngine` relies on this to return
+            identical estimates for any batch size.  When omitted, the first
+            query consumes the sampler's own stream (so a batch of one is the
+            sequential path) and the remaining queries use child generators
+            derived from it.
+
+        Returns
+        -------
+        numpy.ndarray
+            One selectivity estimate per query, in input order.
+        """
         domain_sizes = self.model.domain_sizes()
         num_columns = len(domain_sizes)
-        if len(masks) != num_columns:
-            raise ValueError("one mask (or None) is required per column")
+        num_queries = len(masks_batch)
+        if num_queries == 0:
+            return np.zeros(0)
+        for masks in masks_batch:
+            if len(masks) != num_columns:
+                raise ValueError("one mask (or None) is required per column")
+        if rngs is None:
+            rngs = [self._rng]
+            if num_queries > 1:
+                rngs.extend(self._rng.spawn(num_queries - 1))
+        elif len(rngs) != num_queries:
+            raise ValueError("one random generator is required per query")
 
-        codes = np.zeros((num_samples, num_columns), dtype=np.int64)
-        weights = np.ones(num_samples)
-        alive = np.ones(num_samples, dtype=bool)
+        # Wildcard skipping: once a query is past its *own* last constrained
+        # column (in autoregressive order) its weight is final — trailing
+        # wildcard columns contribute mass one and nothing the query still
+        # samples conditions on them — so its rows drop out of the forward
+        # passes.  Columns past every query's last constrained position are
+        # not visited at all.
+        last_constrained = np.full(num_queries, -1)
+        for position, column in enumerate(self.model.order):
+            for query, masks in enumerate(masks_batch):
+                if masks[column] is not None:
+                    last_constrained[query] = position
+        sampled_columns = self.model.order[:int(last_constrained.max()) + 1]
 
-        for column in self.model.order:
-            mask = masks[column]
-            if not alive.any():
-                break
-            probs = self.model.conditional_probs(column, codes)
-            if mask is not None:
-                probs = probs * mask[None, :]
-            mass = probs.sum(axis=1)
-            weights *= np.where(alive, mass, 0.0)
-            newly_dead = mass <= 0.0
-            alive &= ~newly_dead
-            # Renormalise only the surviving rows and sample the next value.
-            safe_mass = np.where(mass > 0.0, mass, 1.0)
-            normalised = probs / safe_mass[:, None]
-            sampled = _sample_rows_from_probs(
-                np.where(alive[:, None], normalised, _uniform_fallback(probs.shape)),
-                self._rng)
-            codes[:, column] = sampled
-        return float(weights.mean())
+        total_rows = num_queries * num_samples
+        codes = np.zeros((total_rows, num_columns), dtype=np.int64)
+        weights = np.ones(total_rows)
+        alive = np.ones(total_rows, dtype=bool)
+        row_query = np.repeat(np.arange(num_queries), num_samples)
+        row_last_constrained = np.repeat(last_constrained, num_samples)
 
+        for position, column in enumerate(sampled_columns):
+            # Draw the full-width uniforms for every query before checking
+            # liveness so each query's stream is consumed identically
+            # regardless of batch composition and dead-row skipping.
+            draws = np.concatenate([rng.random((num_samples, 1)) for rng in rngs])
+            alive_rows = np.flatnonzero(alive & (row_last_constrained >= position))
+            if alive_rows.size == 0:
+                continue
+            probs = self.model.conditional_probs(column, codes[alive_rows])
+            column_masks = [masks[column] for masks in masks_batch]
+            mask_matrix = None
+            if any(mask is not None for mask in column_masks):
+                mask_matrix = np.ones((num_queries, domain_sizes[column]))
+                for query, mask in enumerate(column_masks):
+                    if mask is not None:
+                        mask_matrix[query] = mask
+            # Truncate, weigh and sample in row chunks: every operation is
+            # row-independent, and chunking keeps the temporaries of large
+            # micro-batches inside the CPU caches.
+            for start in range(0, alive_rows.size, _ROW_CHUNK):
+                rows = alive_rows[start:start + _ROW_CHUNK]
+                chunk = probs[start:start + _ROW_CHUNK]
+                if mask_matrix is not None:
+                    chunk = chunk * mask_matrix[row_query[rows]]
+                mass = chunk.sum(axis=1)
+                weights[rows] *= mass
+                survived = mass > 0.0
+                alive[rows] = survived
+                # Renormalise only the surviving rows and sample the next value.
+                safe_mass = np.where(survived, mass, 1.0)
+                normalised = chunk / safe_mass[:, None]
+                sampled = _sample_rows_from_probs(normalised, draws[rows])
+                codes[rows[survived], column] = sampled[survived]
 
-def _uniform_fallback(shape: tuple[int, int]) -> np.ndarray:
-    """Uniform distribution used to fill rows whose weight is already zero."""
-    return np.full(shape, 1.0 / shape[1])
+        return weights.reshape(num_queries, num_samples).mean(axis=1)
 
 
 class UniformRegionSampler:

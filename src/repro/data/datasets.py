@@ -23,6 +23,7 @@ down, which is the phenomenon the paper's accuracy results hinge on.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -92,7 +93,10 @@ def _column_values(spec: ColumnSpec, latent: np.ndarray, num_classes: int,
     # Value driven by the latent class: a fixed pseudo-random permutation maps
     # each latent class to a *popular* value of this column, so different
     # columns agree through z (correlation) while keeping skewed marginals.
-    class_rng = np.random.default_rng(abs(hash(spec.name)) % (2 ** 32))
+    # The column name is folded in through a *stable* hash: ``hash()`` is
+    # randomised per process and would make every run generate a different
+    # relation.
+    class_rng = np.random.default_rng(zlib.crc32(("naru" + spec.name).encode("utf-8")))
     class_to_code = class_rng.choice(size, size=num_classes, p=weights)
 
     driven = class_to_code[latent]

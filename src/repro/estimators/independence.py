@@ -8,7 +8,6 @@ control case that quantifies how much correlation matters.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..data.table import Table
 from ..query.predicates import Query

@@ -1,6 +1,7 @@
 """Query machinery: predicates, workload generation, exact execution, metrics."""
 
-from .executor import qualifying_rows, true_cardinality, true_selectivity
+from .executor import (qualifying_rows, true_cardinality, true_selectivities,
+                       true_selectivity)
 from .generator import LabeledQuery, OODWorkloadGenerator, WorkloadGenerator
 from .metrics import (
     SELECTIVITY_BUCKETS,
@@ -19,6 +20,7 @@ __all__ = [
     "qualifying_rows",
     "true_cardinality",
     "true_selectivity",
+    "true_selectivities",
     "WorkloadGenerator",
     "OODWorkloadGenerator",
     "LabeledQuery",

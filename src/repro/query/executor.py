@@ -7,12 +7,15 @@ dictionary-encoded table.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..data.table import Table
 from .predicates import Query
 
-__all__ = ["qualifying_rows", "true_cardinality", "true_selectivity"]
+__all__ = ["qualifying_rows", "true_cardinality", "true_selectivity",
+           "true_selectivities"]
 
 
 def qualifying_rows(table: Table, query: Query) -> np.ndarray:
@@ -35,3 +38,12 @@ def true_cardinality(table: Table, query: Query) -> int:
 def true_selectivity(table: Table, query: Query) -> float:
     """Exact fraction of rows satisfying the query."""
     return true_cardinality(table, query) / table.num_rows
+
+
+def true_selectivities(table: Table, queries: Sequence[Query]) -> np.ndarray:
+    """Exact selectivities of a whole workload, in query order.
+
+    Convenience for scoring served workloads (see :mod:`repro.serve`)
+    against ground truth in one call.
+    """
+    return np.array([true_selectivity(table, query) for query in queries])

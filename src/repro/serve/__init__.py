@@ -1,0 +1,80 @@
+"""Serving layer: batched, cached multi-query estimation (``repro.serve``).
+
+The core package answers one query per call; this subpackage is the
+deployment-facing front-end that answers *workloads*.  It exists because the
+dominant cost of progressive sampling (§5, Algorithm 1) is the per-column
+model forward pass, and that cost is almost perfectly shareable across
+concurrent queries: the engine stacks the sample paths of a whole micro-batch
+into one code matrix per column, skips columns every in-flight query leaves
+unconstrained, drops zero-weight paths, and memoises per-prefix conditionals
+in an LRU cache that persists across batches.
+
+Serving workloads
+-----------------
+The typical loop — build an estimator once, then stream queries through an
+:class:`EstimationEngine`::
+
+    from repro.core import NaruConfig, NaruEstimator
+    from repro.data import make_census
+    from repro.query import WorkloadGenerator
+    from repro.serve import EstimationEngine
+
+    table = make_census(num_rows=5_000)
+    naru = NaruEstimator(table, NaruConfig(epochs=5))
+    naru.fit()
+
+    engine = EstimationEngine(naru, batch_size=16, num_samples=200)
+    queries = WorkloadGenerator(table, seed=7).generate(64)
+    report = engine.run(queries)
+
+    for result in report.results[:3]:
+        print(result.query, "->", result.cardinality)
+    print(f"{report.stats.queries_per_second:.0f} queries/s, "
+          f"cache hit rate {report.stats.cache['hit_rate']:.0%}")
+
+Three properties matter for operating it:
+
+* **Determinism** — every query owns a random stream derived from
+  ``(seed, query index)``, so estimates do not depend on how the workload was
+  chopped into micro-batches; ``batch_size=1`` reproduces the sequential
+  sampler's numbers.
+* **Observability** — the report carries per-batch latencies and the cache's
+  hit/miss/eviction counters, the numbers to watch when sizing
+  ``batch_size`` and ``cache_entries``.
+* **Replayability** — workloads can be written to and replayed from JSON
+  files (:func:`save_workload` / :func:`load_workload`), which is what the
+  ``python -m repro.serve`` command line does; see ``--save-workload`` and
+  ``--workload``.
+
+For a quick capacity check, ``python -m repro.serve --num-queries 64
+--compare-sequential`` trains a small model, serves a generated workload both
+batched and sequentially, and prints the throughput ratio; the CI bench-smoke
+job runs the same comparison via ``benchmarks/test_serve_throughput.py``.
+"""
+
+from .cache import CachedConditionalModel, CacheStats, ConditionalProbCache
+from .engine import (
+    BatchRecord,
+    EngineReport,
+    EngineStats,
+    EstimateResult,
+    EstimationEngine,
+    query_rng,
+    run_sequential,
+)
+from .workload import load_workload, save_workload
+
+__all__ = [
+    "EstimationEngine",
+    "EstimateResult",
+    "EngineReport",
+    "EngineStats",
+    "BatchRecord",
+    "run_sequential",
+    "query_rng",
+    "ConditionalProbCache",
+    "CachedConditionalModel",
+    "CacheStats",
+    "load_workload",
+    "save_workload",
+]

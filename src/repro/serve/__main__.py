@@ -1,0 +1,158 @@
+"""Command line for the serving layer: replay a workload through the engine.
+
+Usage::
+
+    # Generate a 64-query workload over the census table and serve it batched.
+    python -m repro.serve --dataset census --num-queries 64
+
+    # Persist the generated workload, then replay it later.
+    python -m repro.serve --save-workload workload.json --num-queries 64
+    python -m repro.serve --workload workload.json --compare-sequential
+
+    # Write the machine-readable report for dashboards / CI artifacts.
+    python -m repro.serve --num-queries 32 --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from ..core import NaruConfig, NaruEstimator
+from ..data import make_census, make_conviva_a, make_dmv
+from ..query import WorkloadGenerator, true_selectivities
+from ..query.metrics import q_error
+from .engine import EstimationEngine, run_sequential
+from .workload import load_workload, save_workload
+
+_DATASETS = {
+    "census": make_census,
+    "dmv": make_dmv,
+    "conviva_a": make_conviva_a,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a query workload through the batched estimation engine")
+    parser.add_argument("--dataset", choices=sorted(_DATASETS), default="census",
+                        help="synthetic table to build and serve against")
+    parser.add_argument("--rows", type=int, default=4000,
+                        help="number of rows of the synthetic table")
+    parser.add_argument("--workload", metavar="PATH",
+                        help="replay a workload file instead of generating one")
+    parser.add_argument("--save-workload", metavar="PATH",
+                        help="write the served workload to a JSON file")
+    parser.add_argument("--num-queries", type=int, default=64,
+                        help="number of generated queries (ignored with --workload)")
+    parser.add_argument("--min-filters", type=int, default=2)
+    parser.add_argument("--max-filters", type=int, default=5)
+    parser.add_argument("--epochs", type=int, default=5,
+                        help="training epochs of the served Naru model")
+    parser.add_argument("--samples", type=int, default=200,
+                        help="progressive sample paths per query")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="queries per micro-batch")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the conditional-probability cache")
+    parser.add_argument("--cache-entries", type=int, default=65536)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--compare-sequential", action="store_true",
+                        help="also run the unbatched baseline and print the speedup")
+    parser.add_argument("--q-errors", action="store_true",
+                        help="score estimates against exact selectivities")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full report as JSON")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+
+    table = _DATASETS[arguments.dataset](arguments.rows)
+    print(f"Relation: {table}")
+
+    if arguments.workload:
+        queries = load_workload(arguments.workload, expected_table=table.name)
+        unknown = sorted({predicate.column for query in queries for predicate in query}
+                         - set(table.column_names))
+        if unknown:
+            raise SystemExit(f"workload references columns missing from "
+                             f"{table.name}: {', '.join(unknown)}")
+        print(f"Replaying {len(queries)} queries from {arguments.workload}")
+    else:
+        generator = WorkloadGenerator(table, min_filters=arguments.min_filters,
+                                      max_filters=arguments.max_filters,
+                                      seed=arguments.seed)
+        queries = generator.generate(arguments.num_queries)
+        print(f"Generated {len(queries)} queries "
+              f"({arguments.min_filters}-{arguments.max_filters} filters)")
+    if arguments.save_workload:
+        save_workload(arguments.save_workload, queries, table_name=table.name)
+        print(f"Workload written to {arguments.save_workload}")
+
+    config = NaruConfig(epochs=arguments.epochs, hidden_sizes=(64, 64),
+                        batch_size=256, progressive_samples=arguments.samples,
+                        seed=arguments.seed)
+    naru = NaruEstimator(table, config)
+    naru.fit()
+    print(f"Trained Naru model ({arguments.epochs} epochs, "
+          f"{naru.size_bytes() / 1e6:.2f} MB)")
+
+    engine = EstimationEngine(naru, batch_size=arguments.batch_size,
+                              num_samples=arguments.samples,
+                              use_cache=not arguments.no_cache,
+                              cache_entries=arguments.cache_entries,
+                              seed=arguments.seed)
+    report = engine.run(queries)
+    stats = report.stats
+
+    print(f"\nServed {stats.num_queries} queries in {stats.num_batches} "
+          f"micro-batches of <= {stats.batch_size}")
+    print(f"  elapsed          {stats.elapsed_s * 1000:.1f} ms")
+    print(f"  throughput       {stats.queries_per_second:.1f} queries/s")
+    if stats.cache is not None:
+        print(f"  cache hit rate   {stats.cache['hit_rate']:.1%} "
+              f"({stats.cache['hits']} hits / {stats.cache['misses']} misses)")
+        print(f"  model rows       {stats.cache['rows_evaluated']} evaluated, "
+              f"{stats.cache['rows_served_from_cache']} served from cache")
+
+    document = {"engine": stats.as_dict(),
+                "estimates": [result.selectivity for result in report.results]}
+
+    if arguments.compare_sequential:
+        baseline = run_sequential(naru, queries, num_samples=arguments.samples,
+                                  seed=arguments.seed)
+        speedup = (baseline.stats.elapsed_s / stats.elapsed_s
+                   if stats.elapsed_s > 0 else float("inf"))
+        drift = float(np.max(np.abs(report.selectivities - baseline.selectivities))) \
+            if report.results else 0.0
+        print(f"\nSequential baseline: {baseline.stats.queries_per_second:.1f} "
+              f"queries/s -> batched speedup {speedup:.1f}x "
+              f"(max estimate drift {drift:.2e})")
+        document["sequential"] = baseline.stats.as_dict()
+        document["speedup"] = speedup
+        document["max_estimate_drift"] = drift
+
+    if arguments.q_errors:
+        truths = true_selectivities(table, [result.query for result in report.results])
+        errors = [q_error(result.cardinality, truth * table.num_rows)
+                  for result, truth in zip(report.results, truths)]
+        if errors:
+            print(f"\nq-error: median {np.median(errors):.2f}, "
+                  f"p95 {np.quantile(errors, 0.95):.2f}, max {np.max(errors):.2f}")
+        document["q_errors"] = errors
+
+    if arguments.json:
+        with open(arguments.json, "w") as handle:
+            json.dump(document, handle, indent=1)
+        print(f"\nReport written to {arguments.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,257 @@
+"""LRU caching of autoregressive conditionals for the serving layer.
+
+Progressive sampling asks the model the same question over and over: the
+conditional ``P(X_i | x_<i)`` depends only on the *prefix* of the sample path,
+and prefixes repeat heavily — every path shares the empty prefix at the first
+column, early columns have tiny domains, and concurrent queries over the same
+table walk overlapping regions.  :class:`CachedConditionalModel` exploits this
+by memoising per-prefix distributions in an LRU map keyed on
+``(column, prefix_codes_bytes)``, so repeated prefixes inside a micro-batch
+and across micro-batches hit memory instead of re-running the network.
+
+The wrapper implements the same protocol as
+:class:`repro.core.made.AutoregressiveModel` (``conditional_probs``,
+``log_prob``, ``domain_sizes``, ``order``), so it can be dropped in front of
+any model — neural or oracle — without the sampler noticing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheStats", "ConditionalProbCache", "CachedConditionalModel"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one conditional-probability cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Rows whose distribution was served from memory instead of the model.
+    rows_served_from_cache: int = 0
+    #: Rows actually pushed through the model (after prefix deduplication).
+    rows_evaluated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of prefix lookups answered from memory (0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "rows_served_from_cache": self.rows_served_from_cache,
+            "rows_evaluated": self.rows_evaluated,
+        }
+
+
+class ConditionalProbCache:
+    """Bounded LRU map from ``(column, prefix bytes)`` to a distribution.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached distributions; the least recently used entry
+        is evicted once the bound is exceeded.  ``0`` disables caching (every
+        lookup misses and nothing is stored).
+    """
+
+    def __init__(self, max_entries: int = 262144) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple[int, bytes], np.ndarray] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple[int, bytes]) -> np.ndarray | None:
+        """Look up one distribution, updating LRU order and counters."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: tuple[int, bytes], distribution: np.ndarray) -> None:
+        """Insert one distribution, evicting the LRU entry when full."""
+        if self.max_entries == 0:
+            return
+        self._entries[key] = distribution
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class CachedConditionalModel:
+    """Drop-in model wrapper that memoises ``conditional_probs`` per prefix.
+
+    For each requested batch the wrapper (1) projects every row onto the
+    columns that precede ``column_index`` in the autoregressive order — the
+    only inputs ``conditional_probs`` may depend on, see the batch contract on
+    :meth:`repro.core.made.AutoregressiveModel.conditional_probs` — (2)
+    deduplicates the projected prefixes, (3) serves known prefixes from the
+    LRU cache and (4) evaluates the model once on the representative rows of
+    the unknown prefixes, caching their distributions for later batches.
+
+    Consulting the map costs a Python-level lookup per *distinct* prefix, so
+    for batches whose prefixes are almost all distinct (late columns of wide
+    tables) the bookkeeping would outweigh the saved network rows; when the
+    distinct-prefix fraction exceeds ``bypass_fraction`` the wrapper therefore
+    skips the map and only deduplicates the batch, which is pure numpy.
+
+    Parameters
+    ----------
+    model:
+        Any model implementing the autoregressive protocol.
+    cache:
+        Shared :class:`ConditionalProbCache`; a private one is created from
+        ``max_entries`` when omitted.
+    max_entries:
+        Capacity of the private cache when ``cache`` is not supplied.
+    bypass_fraction:
+        Skip the LRU map (but still deduplicate) for batches where
+        ``distinct prefixes > bypass_fraction * rows``.  ``1.0`` never
+        bypasses.
+    chunk_rows:
+        Evaluate the model at most this many rows at a time.  Micro-batched
+        serving can stack tens of thousands of sample paths into one request;
+        chunking keeps each forward pass inside the CPU caches, which is
+        several times faster per row than one huge pass.
+    """
+
+    def __init__(self, model, cache: ConditionalProbCache | None = None,
+                 max_entries: int = 262144, bypass_fraction: float = 0.5,
+                 chunk_rows: int = 4096) -> None:
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be positive")
+        self.model = model
+        self.cache = cache if cache is not None else ConditionalProbCache(max_entries)
+        self.bypass_fraction = bypass_fraction
+        self.chunk_rows = chunk_rows
+        self.order = list(model.order)
+        self._prefix_columns = {
+            column: self.order[:position]
+            for position, column in enumerate(self.order)
+        }
+        # Mixed-radix packing of each column's prefix into one int64, used to
+        # deduplicate with a fast scalar sort instead of a row-wise one.  Falls
+        # back to row-wise deduplication when the radix product overflows.
+        domain_sizes = model.domain_sizes()
+        self._prefix_radix: dict[int, np.ndarray | None] = {}
+        for column, prefix in self._prefix_columns.items():
+            sizes = [domain_sizes[c] for c in prefix]
+            if sizes and float(np.prod([float(s) for s in sizes])) < 2.0 ** 62:
+                radix = np.ones(len(sizes), dtype=np.int64)
+                for position in range(len(sizes) - 2, -1, -1):
+                    radix[position] = radix[position + 1] * sizes[position + 1]
+                self._prefix_radix[column] = radix
+            else:
+                self._prefix_radix[column] = None
+
+    # -- protocol delegation ------------------------------------------- #
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def domain_sizes(self) -> list[int]:
+        return self.model.domain_sizes()
+
+    def log_prob(self, codes: np.ndarray) -> np.ndarray:
+        return self.model.log_prob(codes)
+
+    def _evaluate(self, column_index: int, codes: np.ndarray) -> np.ndarray:
+        """Run the wrapped model in CPU-cache-sized chunks."""
+        num_rows = codes.shape[0]
+        if num_rows <= self.chunk_rows:
+            return self.model.conditional_probs(column_index, codes)
+        chunks = [self.model.conditional_probs(column_index, codes[start:start + self.chunk_rows])
+                  for start in range(0, num_rows, self.chunk_rows)]
+        return np.concatenate(chunks, axis=0)
+
+    # ------------------------------------------------------------------ #
+    def conditional_probs(self, column_index: int, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes, dtype=np.int64)
+        num_rows = codes.shape[0]
+        domain = self.model.domain_sizes()[column_index]
+        if num_rows == 0:
+            return np.empty((0, domain))
+        prefix_columns = self._prefix_columns[column_index]
+
+        if not prefix_columns:
+            # Single shared prefix (the empty one): at most one model row.
+            key = (column_index, b"")
+            distribution = self.cache.get(key)
+            if distribution is None:
+                distribution = self.model.conditional_probs(column_index, codes[:1])[0]
+                self.cache.put(key, distribution)
+                self.stats.rows_evaluated += 1
+                self.stats.rows_served_from_cache += num_rows - 1
+            else:
+                self.stats.rows_served_from_cache += num_rows
+            return np.broadcast_to(distribution, (num_rows, domain)).copy()
+
+        prefixes = np.ascontiguousarray(codes[:, prefix_columns])
+        radix = self._prefix_radix[column_index]
+        if radix is not None:
+            packed = prefixes @ radix
+            unique, first_rows, inverse = np.unique(packed, return_index=True,
+                                                    return_inverse=True)
+        else:
+            unique, first_rows, inverse = np.unique(prefixes, axis=0,
+                                                    return_index=True,
+                                                    return_inverse=True)
+        num_unique = unique.shape[0]
+
+        if num_unique > self.bypass_fraction * num_rows:
+            # Mostly-distinct prefixes: the per-prefix map bookkeeping would
+            # cost more than it saves — deduplicate only.
+            fresh = self._evaluate(column_index, codes[first_rows])
+            self.stats.rows_evaluated += num_unique
+            self.stats.rows_served_from_cache += num_rows - num_unique
+            return fresh[inverse]
+
+        table = np.empty((num_unique, domain))
+        missing: list[int] = []
+        if radix is not None:
+            keys = [(column_index, int(value)) for value in unique]
+        else:
+            keys = [(column_index, unique[group].tobytes())
+                    for group in range(num_unique)]
+        for group, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is None:
+                missing.append(group)
+            else:
+                table[group] = cached
+        if missing:
+            representatives = codes[first_rows[missing]]
+            fresh = self._evaluate(column_index, representatives)
+            # Copies, not views: a view would pin the whole freshly evaluated
+            # array for as long as any single row of it survives in the LRU,
+            # so eviction would stop bounding memory.
+            for position, group in enumerate(missing):
+                table[group] = fresh[position]
+                self.cache.put(keys[group], fresh[position].copy())
+            self.stats.rows_evaluated += len(missing)
+        self.stats.rows_served_from_cache += num_rows - len(missing)
+        return table[inverse]

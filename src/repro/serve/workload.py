@@ -1,0 +1,100 @@
+"""Saving and replaying workload files.
+
+A workload file is a small JSON document holding the predicate lists of the
+queries produced by :mod:`repro.query.generator` (or written by hand), so a
+serving run can be replayed bit-for-bit later or on another machine::
+
+    {
+      "version": 1,
+      "table": "census",
+      "queries": [
+        [["age", "<=", 40], ["sex", "=", "sex_0"]],
+        ...
+      ]
+    }
+
+Values are stored as plain JSON scalars; ``IN`` predicates store a list of
+values and ``BETWEEN`` predicates store a two-element ``[low, high]`` list.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..query.predicates import Operator, Predicate, Query
+
+__all__ = ["save_workload", "load_workload", "queries_to_specs", "specs_to_queries"]
+
+_FORMAT_VERSION = 1
+
+
+def _json_value(value: object) -> object:
+    """Convert numpy scalars (and containers of them) to JSON-native types."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple, set, frozenset, np.ndarray)):
+        return [_json_value(item) for item in value]
+    return value
+
+
+def queries_to_specs(queries: list[Query]) -> list[list[list]]:
+    """Plain-data representation of a list of queries."""
+    return [[[predicate.column, predicate.operator.value, _json_value(predicate.value)]
+             for predicate in query]
+            for query in queries]
+
+
+def specs_to_queries(specs: list[list[list]]) -> list[Query]:
+    """Rebuild queries from their plain-data representation."""
+    queries = []
+    for spec in specs:
+        predicates = []
+        for column, operator, value in spec:
+            operator = Operator(operator)
+            if operator is Operator.BETWEEN:
+                low, high = value
+                value = (low, high)
+            predicates.append(Predicate(column, operator, value))
+        queries.append(Query(predicates))
+    return queries
+
+
+def save_workload(path: str, queries: list[Query],
+                  table_name: str | None = None) -> None:
+    """Write a workload file that :func:`load_workload` can replay."""
+    document = {
+        "version": _FORMAT_VERSION,
+        "table": table_name,
+        "queries": queries_to_specs(queries),
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+
+
+def load_workload(path: str, expected_table: str | None = None) -> list[Query]:
+    """Read the queries of a workload file written by :func:`save_workload`.
+
+    Parameters
+    ----------
+    path:
+        The workload file.
+    expected_table:
+        When given and the file records the table it was generated against,
+        a mismatch raises ``ValueError`` instead of letting the queries fail
+        (or silently estimate) against the wrong relation.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    version = document.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported workload file version {version!r}")
+    recorded = document.get("table")
+    if expected_table is not None and recorded is not None \
+            and recorded != expected_table:
+        raise ValueError(
+            f"workload file {path!r} was generated against table "
+            f"{recorded!r}, not {expected_table!r}")
+    return specs_to_queries(document["queries"])

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core import NaruConfig, NaruEstimator
 from repro.data import ColumnSpec, make_correlated_table
-from repro.query import Query, WorkloadGenerator, q_error, true_selectivity
+from repro.query import Query, WorkloadGenerator, q_error
 
 
 class TestNaruEstimatorLifecycle:

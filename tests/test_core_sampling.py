@@ -24,7 +24,8 @@ from repro.core import (
     enumerate_region,
 )
 from repro.data import ColumnSpec, make_correlated_table
-from repro.query import Query, WorkloadGenerator, true_selectivity
+from repro.query import (OODWorkloadGenerator, Query, WorkloadGenerator,
+                         true_selectivity)
 
 
 @pytest.fixture(scope="module")
@@ -219,3 +220,98 @@ class TestUniformRegionSampler:
         query = Query([])
         truth = np.exp(oracle.log_prob(row[None, :]))[0]
         assert sampler.estimate_selectivity(masks, num_samples=10) == pytest.approx(truth)
+
+
+def _reference_estimate(model, masks, num_samples, seed):
+    """The pre-optimisation Algorithm 1 loop, kept verbatim as an oracle.
+
+    Processes every column (no wildcard skipping) and keeps zero-weight rows
+    sampling from a uniform fallback (no dead-row skipping); the optimised
+    sampler must reproduce its estimates.
+    """
+    rng = np.random.default_rng(seed)
+    domain_sizes = model.domain_sizes()
+    codes = np.zeros((num_samples, len(domain_sizes)), dtype=np.int64)
+    weights = np.ones(num_samples)
+    alive = np.ones(num_samples, dtype=bool)
+    for column in model.order:
+        mask = masks[column]
+        if not alive.any():
+            break
+        probs = model.conditional_probs(column, codes)
+        if mask is not None:
+            probs = probs * mask[None, :]
+        mass = probs.sum(axis=1)
+        weights *= np.where(alive, mass, 0.0)
+        alive &= ~(mass <= 0.0)
+        safe_mass = np.where(mass > 0.0, mass, 1.0)
+        normalised = probs / safe_mass[:, None]
+        fallback = np.full(probs.shape, 1.0 / probs.shape[1])
+        cumulative = np.cumsum(np.where(alive[:, None], normalised, fallback), axis=1)
+        cumulative[:, -1] = 1.0
+        draws = rng.random((probs.shape[0], 1))
+        codes[:, column] = np.argmax(cumulative >= draws, axis=1)
+    return float(weights.mean())
+
+
+class TestBatchedProgressiveSampling:
+    def test_matches_reference_implementation(self, skewed_table, oracle, workload):
+        """Dead-row and wildcard skipping leave the estimates unchanged."""
+        for seed, query in enumerate(workload[:12]):
+            masks = query.column_masks(skewed_table)
+            reference = _reference_estimate(oracle, masks, 400, seed=seed)
+            optimised = ProgressiveSampler(oracle, seed=seed).estimate_selectivity(
+                masks, num_samples=400)
+            assert optimised == pytest.approx(reference, rel=1e-9, abs=1e-12)
+
+    def test_dead_rows_skipped_without_changing_estimates(self, skewed_table, oracle):
+        """Regression for the dead-row waste fix: zero-mass paths used to keep
+        drawing uniform-fallback samples every remaining column."""
+        generator = OODWorkloadGenerator(skewed_table, min_filters=3,
+                                         max_filters=4, seed=13)
+        for seed, query in enumerate(generator.generate(10)):
+            masks = query.column_masks(skewed_table)
+            reference = _reference_estimate(oracle, masks, 300, seed=seed)
+            optimised = ProgressiveSampler(oracle, seed=seed).estimate_selectivity(
+                masks, num_samples=300)
+            assert optimised == pytest.approx(reference, rel=1e-9, abs=1e-12)
+
+    def test_wildcard_skipping_equivalence(self, skewed_table, oracle):
+        """Queries constraining only early columns skip the trailing wildcards
+        yet estimate the same mass as the full per-column walk."""
+        row = skewed_table.encoded()[0]
+        masks = [None] * skewed_table.num_columns
+        masks[0] = np.zeros(skewed_table.domain_sizes[0], dtype=bool)
+        masks[0][row[0]] = True
+        reference = _reference_estimate(oracle, masks, 500, seed=5)
+        optimised = ProgressiveSampler(oracle, seed=5).estimate_selectivity(
+            masks, num_samples=500)
+        assert optimised == pytest.approx(reference, rel=1e-9, abs=1e-12)
+
+    def test_batch_matches_individual_queries(self, skewed_table, oracle, workload):
+        masks_batch = [query.column_masks(skewed_table) for query in workload[:6]]
+        rngs = [np.random.default_rng(1000 + index) for index in range(6)]
+        batched = ProgressiveSampler(oracle, seed=0).estimate_selectivity_batch(
+            masks_batch, num_samples=200, rngs=rngs)
+        for index, masks in enumerate(masks_batch):
+            alone = ProgressiveSampler(oracle, seed=0).estimate_selectivity_batch(
+                [masks], num_samples=200,
+                rngs=[np.random.default_rng(1000 + index)])[0]
+            assert batched[index] == pytest.approx(alone, rel=1e-9, abs=1e-12)
+
+    def test_empty_batch(self, oracle):
+        estimates = ProgressiveSampler(oracle, seed=0).estimate_selectivity_batch(
+            [], num_samples=50)
+        assert estimates.shape == (0,)
+
+    def test_rng_count_validation(self, skewed_table, oracle):
+        masks = [None] * skewed_table.num_columns
+        with pytest.raises(ValueError):
+            ProgressiveSampler(oracle, seed=0).estimate_selectivity_batch(
+                [masks, masks], num_samples=10,
+                rngs=[np.random.default_rng(0)])
+
+    def test_mask_count_validation_in_batch(self, skewed_table, oracle):
+        with pytest.raises(ValueError):
+            ProgressiveSampler(oracle, seed=0).estimate_selectivity_batch(
+                [[None]], num_samples=10)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data import ColumnSpec, make_correlated_table, make_independent_table
+from repro.data import ColumnSpec, make_independent_table
 from repro.estimators import (
     ChowLiuEstimator,
     DBMS1Estimator,

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data import Column, Table
+from repro.data import Table
 from repro.query import (
     ErrorSummary,
     OODWorkloadGenerator,

@@ -1,0 +1,297 @@
+"""Tests for the serving layer: cache, engine, workload files and CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import NaruConfig, NaruEstimator, OracleModel, ProgressiveSampler
+from repro.data import ColumnSpec, make_correlated_table
+from repro.estimators import SamplingEstimator
+from repro.query import Operator, Predicate, Query, WorkloadGenerator
+from repro.serve import (
+    CachedConditionalModel,
+    ConditionalProbCache,
+    EstimationEngine,
+    load_workload,
+    run_sequential,
+    save_workload,
+)
+from repro.serve.__main__ import main as serve_main
+
+
+@pytest.fixture(scope="module")
+def serve_table():
+    specs = [
+        ColumnSpec("a", 10, "ordinal", skew=1.4),
+        ColumnSpec("b", 6, "categorical", skew=1.3),
+        ColumnSpec("c", 12, "ordinal", skew=1.5),
+        ColumnSpec("d", 4, "categorical", skew=1.2),
+    ]
+    return make_correlated_table(specs, num_rows=900, seed=3, name="serve")
+
+
+@pytest.fixture(scope="module")
+def oracle(serve_table):
+    return OracleModel(serve_table)
+
+
+@pytest.fixture(scope="module")
+def workload(serve_table):
+    generator = WorkloadGenerator(serve_table, min_filters=1, max_filters=4, seed=9)
+    return generator.generate(12)
+
+
+@pytest.fixture(scope="module")
+def naru(serve_table):
+    estimator = NaruEstimator(serve_table, NaruConfig(
+        epochs=3, hidden_sizes=(32, 32), batch_size=128,
+        progressive_samples=150, seed=0))
+    estimator.fit()
+    return estimator
+
+
+class TestConditionalProbCache:
+    def test_lru_eviction_order(self):
+        cache = ConditionalProbCache(max_entries=2)
+        cache.put((0, 1), np.array([1.0]))
+        cache.put((0, 2), np.array([2.0]))
+        assert cache.get((0, 1)) is not None   # refresh key 1
+        cache.put((0, 3), np.array([3.0]))     # evicts key 2, the LRU entry
+        assert cache.get((0, 2)) is None
+        assert cache.get((0, 1)) is not None
+        assert cache.get((0, 3)) is not None
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ConditionalProbCache(max_entries=0)
+        cache.put((0, 1), np.array([1.0]))
+        assert cache.get((0, 1)) is None
+        assert len(cache) == 0
+
+    def test_counters(self):
+        cache = ConditionalProbCache()
+        cache.get((1, 7))
+        cache.put((1, 7), np.array([1.0]))
+        cache.get((1, 7))
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ConditionalProbCache(max_entries=-1)
+
+
+class TestCachedConditionalModel:
+    def test_matches_uncached_model(self, serve_table, oracle, rng):
+        cached = CachedConditionalModel(oracle)
+        codes = serve_table.encoded()[rng.integers(0, serve_table.num_rows, size=64)]
+        for column in range(serve_table.num_columns):
+            np.testing.assert_allclose(cached.conditional_probs(column, codes),
+                                       oracle.conditional_probs(column, codes))
+
+    def test_repeat_batches_hit_memory(self, serve_table, oracle):
+        cached = CachedConditionalModel(oracle, bypass_fraction=1.0)
+        codes = serve_table.encoded()[:32]
+        cached.conditional_probs(2, codes)
+        misses_before = cached.stats.misses
+        cached.conditional_probs(2, codes)
+        assert cached.stats.misses == misses_before  # all prefixes known
+        assert cached.stats.hits > 0
+
+    def test_empty_batch(self, serve_table, oracle):
+        cached = CachedConditionalModel(oracle)
+        probs = cached.conditional_probs(1, np.empty((0, serve_table.num_columns),
+                                                     dtype=np.int64))
+        assert probs.shape == (0, serve_table.domain_sizes[1])
+
+    def test_bypass_still_deduplicates(self, serve_table, oracle):
+        cached = CachedConditionalModel(oracle, bypass_fraction=0.0)
+        codes = np.repeat(serve_table.encoded()[:4], 8, axis=0)
+        distinct = np.unique(codes[:, oracle.order[:3]], axis=0).shape[0]
+        cached.conditional_probs(3, codes)
+        assert cached.stats.rows_evaluated == distinct
+        assert cached.stats.rows_served_from_cache == codes.shape[0] - distinct
+
+
+class TestEstimationEngine:
+    def test_batched_equals_sequential(self, naru, workload):
+        engine = EstimationEngine(naru, batch_size=5, num_samples=120, seed=11)
+        report = engine.run(workload)
+        baseline = run_sequential(naru, workload, num_samples=120, seed=11)
+        np.testing.assert_allclose(report.selectivities, baseline.selectivities,
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_estimates_independent_of_batch_size(self, naru, workload):
+        runs = [EstimationEngine(naru, batch_size=size, num_samples=100,
+                                 seed=4).run(workload).selectivities
+                for size in (1, 5, 32)]
+        np.testing.assert_allclose(runs[0], runs[1], rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(runs[0], runs[2], rtol=1e-9, atol=1e-12)
+
+    def test_empty_member_does_not_poison_neighbours(self, naru, workload):
+        empty = Query([Predicate("b", Operator.EQ, "no_such_value")])
+        mixed = [workload[0], empty, workload[1]]
+        engine = EstimationEngine(naru, batch_size=3, num_samples=100, seed=2)
+        report = engine.run(mixed)
+        assert report.selectivities[1] == 0.0
+        # Neighbours keep their per-query streams, so their estimates are the
+        # same numbers the engine returns for a batch without the empty query.
+        alone = EstimationEngine(naru, batch_size=3, num_samples=100,
+                                 seed=2).run([workload[0], workload[1], workload[1]])
+        np.testing.assert_allclose(report.selectivities[0], alone.selectivities[0],
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_cache_accounting_surfaces_in_stats(self, naru, workload):
+        engine = EstimationEngine(naru, batch_size=4, num_samples=100, seed=0)
+        stats = engine.run(workload).stats
+        cache = stats.cache
+        assert cache is not None
+        assert cache["hits"] + cache["misses"] > 0
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+        assert cache["rows_evaluated"] > 0
+        assert cache["rows_served_from_cache"] > 0
+        assert stats.queries_per_second > 0
+        # A repeated run through the warm engine hits the shared cache harder
+        # and, being a fresh workload scope, reproduces the same estimates.
+        first = engine.run(workload)
+        hits_before = engine.cache_stats["hits"]
+        second = engine.run(workload)
+        assert engine.cache_stats["hits"] > hits_before
+        assert second.stats.num_queries == len(workload)
+        np.testing.assert_array_equal(first.selectivities, second.selectivities)
+
+    def test_cache_can_be_disabled(self, naru, workload):
+        engine = EstimationEngine(naru, batch_size=4, num_samples=80,
+                                  use_cache=False, seed=0)
+        report = engine.run(workload[:4])
+        assert report.stats.cache is None
+        assert len(report.results) == 4
+
+    def test_submit_flush_matches_run(self, naru, workload):
+        whole = EstimationEngine(naru, batch_size=4, num_samples=90, seed=6)
+        expected = whole.run(workload).selectivities
+
+        incremental = EstimationEngine(naru, batch_size=4, num_samples=90, seed=6)
+        for query in workload:
+            incremental.submit(query)
+        incremental.flush()
+        report = incremental.report()
+        assert [result.index for result in report.results] == list(range(len(workload)))
+        np.testing.assert_allclose(report.selectivities, expected,
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_non_batchable_estimator_falls_back(self, serve_table, workload):
+        sampler = SamplingEstimator(serve_table, sample_size=200, seed=1)
+        engine = EstimationEngine(sampler, batch_size=4)
+        report = engine.run(workload[:6])
+        assert report.stats.cache is None
+        expected = [sampler.estimate_selectivity(query) for query in workload[:6]]
+        np.testing.assert_allclose(report.selectivities, expected)
+
+    def test_unfitted_estimator_rejected(self, serve_table, workload):
+        unfitted = NaruEstimator(serve_table, NaruConfig(epochs=1,
+                                                         hidden_sizes=(16,)))
+        engine = EstimationEngine(unfitted, batch_size=2, num_samples=20)
+        with pytest.raises(RuntimeError):
+            engine.run(workload[:2])
+
+    def test_invalid_batch_size_rejected(self, naru):
+        with pytest.raises(ValueError):
+            EstimationEngine(naru, batch_size=0)
+
+    def test_run_refuses_pending_streaming_queries(self, naru, workload):
+        engine = EstimationEngine(naru, batch_size=8, num_samples=50)
+        engine.submit(workload[0])
+        with pytest.raises(RuntimeError, match="pending"):
+            engine.run(workload[:2])
+        engine.flush()                      # finish the streaming scope...
+        report = engine.run(workload[:2])   # ...then run() works again
+        assert report.stats.num_queries == 2
+
+    def test_naru_batch_api_matches_engine_paths(self, naru, workload):
+        """NaruEstimator.estimate_selectivity_batch is the same machinery."""
+        batch = naru.estimate_selectivity_batch(workload[:4], num_samples=80)
+        assert batch.shape == (4,)
+        assert np.all((batch >= 0.0) & (batch <= 1.0))
+        # A batch of one equals the sequential estimate under the same stream.
+        alone = ProgressiveSampler(naru.model, seed=31).estimate_selectivity(
+            workload[0].column_masks(naru.table), num_samples=80)
+        again = ProgressiveSampler(naru.model, seed=31).estimate_selectivity_batch(
+            [workload[0].column_masks(naru.table)], num_samples=80)[0]
+        assert alone == pytest.approx(again, rel=1e-12, abs=1e-15)
+
+
+class TestWorkloadFiles:
+    def test_roundtrip(self, serve_table, workload, tmp_path):
+        path = os.path.join(tmp_path, "workload.json")
+        rich = workload[:3] + [Query([
+            Predicate("a", Operator.BETWEEN, (2, 9)),
+            Predicate("b", Operator.IN, ["b_0", "b_2"]),
+            Predicate("c", Operator.NEQ, 5),
+        ])]
+        save_workload(path, rich, table_name=serve_table.name)
+        loaded = load_workload(path)
+        assert len(loaded) == len(rich)
+        for original, restored in zip(rich, loaded):
+            for left, right in zip(original, restored):
+                assert left.column == right.column
+                assert left.operator == right.operator
+            original_masks = original.column_masks(serve_table)
+            restored_masks = restored.column_masks(serve_table)
+            for left, right in zip(original_masks, restored_masks):
+                if left is None:
+                    assert right is None
+                else:
+                    np.testing.assert_array_equal(left, right)
+
+    def test_table_mismatch_rejected(self, serve_table, workload, tmp_path):
+        path = os.path.join(tmp_path, "workload.json")
+        save_workload(path, workload[:2], table_name=serve_table.name)
+        with pytest.raises(ValueError, match="generated against table"):
+            load_workload(path, expected_table="another_table")
+        # Matching (or unspecified) table names load fine.
+        assert len(load_workload(path, expected_table=serve_table.name)) == 2
+        assert len(load_workload(path)) == 2
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"version": 99, "queries": []}, handle)
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+
+class TestServeCLI:
+    def test_end_to_end_with_replay(self, tmp_path):
+        workload_path = os.path.join(tmp_path, "workload.json")
+        report_path = os.path.join(tmp_path, "report.json")
+        exit_code = serve_main([
+            "--rows", "400", "--num-queries", "6", "--epochs", "1",
+            "--samples", "40", "--batch-size", "4", "--seed", "5",
+            "--save-workload", workload_path, "--json", report_path,
+            "--q-errors",
+        ])
+        assert exit_code == 0
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert report["engine"]["num_queries"] == 6
+        assert len(report["estimates"]) == 6
+        assert len(report["q_errors"]) == 6
+
+        replay_code = serve_main([
+            "--rows", "400", "--workload", workload_path, "--epochs", "1",
+            "--samples", "40", "--no-cache", "--compare-sequential",
+            "--json", report_path, "--seed", "5",
+        ])
+        assert replay_code == 0
+        with open(report_path) as handle:
+            replay = json.load(handle)
+        assert replay["engine"]["cache"] is None
+        assert replay["max_estimate_drift"] <= 1e-9
