@@ -7,6 +7,7 @@ from .experiments import (
     figure6_estimation_latency,
     figure7_entropy_gap,
     figure8_column_scaling,
+    serve_multi,
     serve_throughput,
     table3_dmv_accuracy,
     table4_conviva_accuracy,
@@ -43,6 +44,7 @@ __all__ = [
     "figure8_column_scaling",
     "table8_data_shift",
     "serve_throughput",
+    "serve_multi",
     "EXPERIMENTS",
     "run_experiment",
     "list_experiments",

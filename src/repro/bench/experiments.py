@@ -82,6 +82,8 @@ __all__ = [
     "figure7_entropy_gap",
     "figure8_column_scaling",
     "table8_data_shift",
+    "serve_throughput",
+    "serve_multi",
 ]
 
 
@@ -610,4 +612,93 @@ def serve_throughput(scale: ExperimentScale | None = None) -> dict:
         "batched": warm.stats.as_dict(),
         "batched_cold": cold.stats.as_dict(),
         "num_queries": len(queries),
+    }
+
+
+def serve_multi(scale: ExperimentScale | None = None) -> dict:
+    """Beyond the paper: fleet throughput of the multi-model serving router.
+
+    Registers two base tables (a users dimension and a sessions fact table)
+    plus their equi-join — served exactly like a base table, per §4.1 — in a
+    :class:`repro.serve.ModelRegistry`, then answers one interleaved mixed
+    workload two ways: through a :class:`repro.serve.FleetRouter` (per-model
+    micro-batches, per-model LRU caches under one shared budget) and through
+    N independent sequential engines (one unbatched, uncached sampler pass
+    per query, models visited one after another).  Both sides key every
+    query's random stream by its global workload index, so the estimates
+    agree to float round-off; the reported numbers are fleet queries/second,
+    the per-route breakdown, and the routed-vs-sequential speedup.
+    """
+    from ..data import JoinSpec, make_sessions, make_users
+    from ..serve import (
+        FleetRouter,
+        ModelRegistry,
+        generate_mixed_workload,
+        run_fleet_sequential,
+    )
+
+    scale = scale or active_scale()
+    config = NaruConfig(epochs=scale.serve_multi_epochs, hidden_sizes=(64, 64),
+                        batch_size=256,
+                        progressive_samples=scale.serve_multi_samples, seed=0)
+    registry = ModelRegistry(default_config=config)
+    registry.register_table(make_users(scale.serve_multi_users))
+    registry.register_table(make_sessions(scale.serve_multi_rows,
+                                          num_users=scale.serve_multi_users))
+    registry.register_join(JoinSpec("sessions", "users", "user_id", "user_id"))
+    registry.fit_all()
+
+    queries = generate_mixed_workload(
+        {name: registry.relation(name) for name in registry.names},
+        scale.serve_multi_queries, min_filters=2, max_filters=5, seed=0)
+
+    sequential = run_fleet_sequential(registry, queries,
+                                      num_samples=scale.serve_multi_samples,
+                                      seed=0)
+    router = FleetRouter(registry, batch_size=scale.serve_multi_batch_size,
+                         num_samples=scale.serve_multi_samples, seed=0)
+    cold = router.run(queries)      # first sight of the workload, caches empty
+    warm = router.run(queries)      # steady state: per-model caches are hot
+
+    drift = max(
+        float(np.max(np.abs(cold.selectivities - sequential.selectivities))),
+        float(np.max(np.abs(warm.selectivities - cold.selectivities))))
+    cold_speedup = (sequential.stats.elapsed_s / cold.stats.elapsed_s
+                    if cold.stats.elapsed_s > 0 else float("inf"))
+    warm_speedup = (sequential.stats.elapsed_s / warm.stats.elapsed_s
+                    if warm.stats.elapsed_s > 0 else float("inf"))
+    misrouted = sum(result.route != result.query.table for result in warm.results)
+
+    rows = []
+    for route, route_stats in warm.stats.routes.items():
+        cache = route_stats["cache"] or {}
+        rows.append({
+            "route": route,
+            "queries": route_stats["num_queries"],
+            "queries_per_second": route_stats["queries_per_second"],
+            "cache_hit_rate": cache.get("hit_rate", 0.0),
+        })
+    rows.append({"route": "fleet", "queries": warm.stats.num_queries,
+                 "queries_per_second": warm.stats.queries_per_second,
+                 "cache_hit_rate": float("nan")})
+    text = format_series(
+        rows, ["route", "queries", "queries_per_second", "cache_hit_rate"],
+        f"Multi-model serving ({len(registry)} relations, "
+        f"{warm.stats.num_queries} queries, batch="
+        f"{scale.serve_multi_batch_size}): {cold_speedup:.2f}x cold / "
+        f"{warm_speedup:.2f}x warm over N sequential engines")
+    return {
+        "text": text,
+        "speedup": warm_speedup,
+        "cold_speedup": cold_speedup,
+        "max_estimate_drift": drift,
+        "misrouted": misrouted,
+        "num_models": len(registry),
+        "model_storage_bytes": registry.size_bytes(),
+        "sequential": sequential.stats.as_dict(),
+        "fleet": warm.stats.as_dict(),
+        "fleet_cold": cold.stats.as_dict(),
+        "num_queries": len(queries),
+        "estimates": [result.selectivity for result in warm.results],
+        "routes": [result.route for result in warm.results],
     }

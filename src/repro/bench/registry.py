@@ -34,6 +34,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
                experiments.table8_data_shift),
     "serve": ("Serving throughput: batched engine vs sequential sampling",
               experiments.serve_throughput),
+    "serve_multi": ("Multi-model fleet throughput: routed registry vs "
+                    "N sequential engines",
+                    experiments.serve_multi),
 }
 
 

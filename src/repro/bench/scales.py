@@ -52,6 +52,14 @@ class ExperimentScale:
     serve_samples: int = 1_500
     serve_batch_size: int = 16
     serve_epochs: int = 8
+    # Multi-model fleet experiment (serve_multi): two base tables plus one
+    # join relation behind a FleetRouter; defaulted for the same reason.
+    serve_multi_rows: int = 3_000
+    serve_multi_users: int = 400
+    serve_multi_queries: int = 60
+    serve_multi_samples: int = 800
+    serve_multi_batch_size: int = 16
+    serve_multi_epochs: int = 6
 
 
 SMOKE = ExperimentScale(
@@ -105,6 +113,12 @@ PAPER = ExperimentScale(
     serve_samples=2_000,
     serve_batch_size=32,
     serve_epochs=15,
+    serve_multi_rows=8_000,
+    serve_multi_users=800,
+    serve_multi_queries=192,
+    serve_multi_samples=1_500,
+    serve_multi_batch_size=32,
+    serve_multi_epochs=12,
 )
 
 

@@ -202,13 +202,19 @@ class NaruEstimator(CardinalityEstimator):
         This is the straightforward point-density use of the likelihood model
         (§5, "Equality Predicates"): a single forward pass.
         """
+        known = set(self.table.column_names)
+        unknown = sorted(set(values) - known)
+        if unknown:
+            raise ValueError(
+                f"point query names columns not in table "
+                f"{self.table.name!r}: {unknown}")
+        missing = sorted(known - set(values))
+        if missing:
+            raise ValueError(f"point queries must specify every column; missing {missing}")
         codes = np.zeros((1, self.table.num_columns), dtype=np.int64)
         for name, value in values.items():
             column = self.table.column(name)
             codes[0, self.table.column_index(name)] = column.value_to_code(value)
-        missing = set(self.table.column_names) - set(values)
-        if missing:
-            raise ValueError(f"point queries must specify every column; missing {sorted(missing)}")
         return float(np.exp(self.model.log_prob(codes))[0])
 
     # ------------------------------------------------------------------ #

@@ -9,8 +9,10 @@ from .datasets import (
     make_correlated_table,
     make_dmv,
     make_independent_table,
+    make_sessions,
+    make_users,
 )
-from .joins import JoinSampler, hash_join
+from .joins import JoinSampler, JoinSpec, hash_join
 from .shift import PartitionedIngest, partition_by_column
 from .table import Column, Table
 
@@ -24,10 +26,13 @@ __all__ = [
     "make_conviva_a",
     "make_conviva_b",
     "make_census",
+    "make_users",
+    "make_sessions",
     "read_csv",
     "write_csv",
     "hash_join",
     "JoinSampler",
+    "JoinSpec",
     "partition_by_column",
     "PartitionedIngest",
 ]

@@ -38,6 +38,8 @@ __all__ = [
     "make_conviva_b",
     "make_census",
     "make_independent_table",
+    "make_users",
+    "make_sessions",
 ]
 
 
@@ -227,6 +229,62 @@ def make_conviva_b(num_rows: int = 2_000, num_columns: int = 100,
         specs.append(ColumnSpec(f"col_{index:03d}", domain, kind,
                                 skew=float(rng.uniform(1.0, 1.8))))
     return make_correlated_table(specs, num_rows, seed=seed, name="conviva_b")
+
+
+def make_users(num_users: int = 500, seed: int = 4) -> Table:
+    """A users dimension table keyed by ``user_id`` (one row per user).
+
+    Together with :func:`make_sessions` this forms the package's keyed
+    star-schema pair: ``sessions.user_id`` references ``users.user_id``, so
+    the two tables can be equi-joined (:func:`repro.data.hash_join`,
+    :class:`repro.data.JoinSampler`) and the join served as a first-class
+    relation next to the base tables.
+    """
+    if num_users < 2:
+        raise ValueError("num_users must be at least 2")
+    rng = np.random.default_rng(seed)
+    plans = np.array(["free", "basic", "pro", "enterprise"])
+    countries = np.array([f"country_{index}" for index in range(14)])
+    age_groups = np.array(["18-24", "25-34", "35-44", "45-54", "55+"])
+    return Table.from_dict({
+        "user_id": np.arange(num_users, dtype=np.int64),
+        "plan": rng.choice(plans, size=num_users, p=[0.55, 0.25, 0.15, 0.05]),
+        "country": rng.choice(countries, size=num_users,
+                              p=_zipf_weights(countries.size, 1.4)),
+        "age_group": rng.choice(age_groups, size=num_users,
+                                p=[0.2, 0.3, 0.25, 0.15, 0.1]),
+    }, name="users")
+
+
+def make_sessions(num_rows: int = 8_000, num_users: int = 500,
+                  seed: int = 5) -> Table:
+    """A sessions fact table referencing :func:`make_users` by ``user_id``.
+
+    ``user_id`` follows a Zipf-like distribution over the user population, so
+    the equi-join with the users table has realistic skewed fan-out; the
+    measure columns are correlated through a latent class like every other
+    synthetic table in this module.
+    """
+    if num_rows <= 0:
+        raise ValueError("num_rows must be positive")
+    if num_users < 2:
+        raise ValueError("num_users must be at least 2")
+    rng = np.random.default_rng(seed)
+    measures = make_correlated_table([
+        ColumnSpec("device", 8, "categorical", skew=1.4),
+        ColumnSpec("duration_s", 240, "ordinal", skew=1.1),
+        ColumnSpec("pages_viewed", 40, "ordinal", skew=1.3),
+        ColumnSpec("errors", 5, "categorical", skew=1.8),
+    ], num_rows, seed=seed, name="session_measures")
+    user_ids = rng.choice(num_users, size=num_rows,
+                          p=_zipf_weights(num_users, 1.2)).astype(np.int64)
+    return Table.from_dict({
+        "user_id": user_ids,
+        "device": measures.column("device").values,
+        "duration_s": measures.column("duration_s").values,
+        "pages_viewed": measures.column("pages_viewed").values,
+        "errors": measures.column("errors").values,
+    }, name="sessions")
 
 
 def make_census(num_rows: int = 20_000, seed: int = 3) -> Table:

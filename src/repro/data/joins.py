@@ -13,12 +13,14 @@ provided, matching the two options the paper describes:
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from .table import Column, Table
 
-__all__ = ["hash_join", "JoinSampler"]
+__all__ = ["hash_join", "JoinSampler", "JoinSpec"]
 
 
 def _build_hash_index(table: Table, key: str) -> dict:
@@ -124,3 +126,72 @@ class JoinSampler:
     def sample_table(self, count: int, name: str = "join_sample") -> Table:
         """Return ``count`` sampled joined tuples as a :class:`Table`."""
         return Table.from_records(self.sample(count), self.column_names, name=name)
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Declarative description of a join relation between two named tables.
+
+    This is the schema-level counterpart of :func:`hash_join` /
+    :class:`JoinSampler`: it names the inputs instead of holding them, so a
+    join can be configured (on a command line, in a registry, in a config
+    file) before the tables exist and :meth:`build` turns it into a concrete
+    :class:`Table` once they do.  The serving registry
+    (:class:`repro.serve.ModelRegistry`) registers the result as a first-class
+    named relation next to the base tables.
+
+    Parameters
+    ----------
+    left, right:
+        Names of the input relations (resolved against a mapping at build
+        time).
+    left_key, right_key:
+        Equi-join key column of each input.
+    name:
+        Name of the resulting relation; defaults to ``"<left>_join_<right>"``.
+    how:
+        ``"materialise"`` builds the full join result with :func:`hash_join`;
+        ``"sample"`` draws ``sample_rows`` tuples through a
+        :class:`JoinSampler` instead (the paper's big-join route, where the
+        estimator trains on sampled join tuples).
+    sample_rows:
+        Number of tuples drawn when ``how="sample"``.
+    seed:
+        Seed of the join sampler (ignored when materialising).
+    """
+
+    left: str
+    right: str
+    left_key: str
+    right_key: str
+    name: str | None = None
+    how: str = "materialise"
+    sample_rows: int = 4096
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.how not in ("materialise", "sample"):
+            raise ValueError(f"unknown join method {self.how!r}; "
+                             "use 'materialise' or 'sample'")
+        if self.sample_rows < 1:
+            raise ValueError("sample_rows must be positive")
+
+    @property
+    def relation_name(self) -> str:
+        """Name under which the join result is registered."""
+        return self.name or f"{self.left}_join_{self.right}"
+
+    def build(self, tables: Mapping[str, Table]) -> Table:
+        """Resolve the inputs and produce the join relation as a table."""
+        try:
+            left, right = tables[self.left], tables[self.right]
+        except KeyError as error:
+            known = ", ".join(sorted(tables)) or "none"
+            raise KeyError(f"join input {error.args[0]!r} is not registered; "
+                           f"known relations: {known}") from None
+        if self.how == "materialise":
+            return hash_join(left, right, self.left_key, self.right_key,
+                             name=self.relation_name)
+        sampler = JoinSampler(left, right, self.left_key, self.right_key,
+                              seed=self.seed)
+        return sampler.sample_table(self.sample_rows, name=self.relation_name)

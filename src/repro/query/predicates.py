@@ -103,18 +103,39 @@ class Predicate:
 
 
 class Query:
-    """A conjunction of :class:`Predicate` filters over one table's schema."""
+    """A conjunction of :class:`Predicate` filters over one table's schema.
 
-    def __init__(self, predicates: Sequence[Predicate]) -> None:
+    Parameters
+    ----------
+    predicates:
+        The conjunctive filters.
+    table:
+        Optional name of the relation the query targets.  Single-estimator
+        code paths ignore it; the multi-model serving layer
+        (:class:`repro.serve.FleetRouter`) uses it to route the query to the
+        estimator registered under that name.  ``None`` (the default, and what
+        every pre-existing call site produces) leaves routing to the server's
+        default route.
+    """
+
+    def __init__(self, predicates: Sequence[Predicate],
+                 table: str | None = None) -> None:
         self.predicates = list(predicates)
+        self.table = table
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_tuples(cls, filters: Iterable[tuple[str, str, object]]) -> "Query":
+    def from_tuples(cls, filters: Iterable[tuple[str, str, object]],
+                    table: str | None = None) -> "Query":
         """Build a query from ``(column, operator, value)`` tuples."""
-        return cls([Predicate(col, Operator(op), value) for col, op, value in filters])
+        return cls([Predicate(col, Operator(op), value) for col, op, value in filters],
+                   table=table)
+
+    def qualified(self, table: str) -> "Query":
+        """A copy of this query targeting the named relation."""
+        return Query(self.predicates, table=table)
 
     # ------------------------------------------------------------------ #
     @property
@@ -160,7 +181,8 @@ class Query:
         return len(self.predicates)
 
     def __str__(self) -> str:
-        return " AND ".join(str(p) for p in self.predicates) or "TRUE"
+        conjunction = " AND ".join(str(p) for p in self.predicates) or "TRUE"
+        return f"[{self.table}] {conjunction}" if self.table else conjunction
 
     def __repr__(self) -> str:
         return f"Query({str(self)})"

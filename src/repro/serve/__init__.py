@@ -50,6 +50,35 @@ For a quick capacity check, ``python -m repro.serve --num-queries 64
 --compare-sequential`` trains a small model, serves a generated workload both
 batched and sequentially, and prints the throughput ratio; the CI bench-smoke
 job runs the same comparison via ``benchmarks/test_serve_throughput.py``.
+
+Serving many relations
+----------------------
+One engine fronts one model over one relation.  To serve a *fleet* — several
+base tables plus join relations, the way the paper's §4.1 treats a join result
+exactly like a base table — register everything in a
+:class:`ModelRegistry` and front it with a :class:`FleetRouter`, which routes
+each query by its ``Query.table`` qualifier, keeps per-model micro-batches and
+per-model LRU caches under one shared ``cache_entries`` budget, and merges the
+per-model reports into one :class:`FleetReport`::
+
+    from repro.data import JoinSpec, make_sessions, make_users
+    from repro.serve import FleetRouter, ModelRegistry
+
+    registry = ModelRegistry(default_config=NaruConfig(epochs=5))
+    registry.register_table(make_users(500))
+    registry.register_table(make_sessions(8_000))
+    registry.register_join(JoinSpec("sessions", "users", "user_id", "user_id"))
+    registry.fit_all()
+
+    router = FleetRouter(registry, batch_size=16, cache_entries=98_304)
+    report = router.run(mixed_workload)          # queries carry .table
+    for route, stats in report.stats.routes.items():
+        print(route, stats["queries_per_second"])
+
+Unroutable queries (unknown relation, or unqualified with several models and
+no default route) raise :class:`RoutingError` at submission — they never
+silently vanish from the report.  ``python -m repro.serve --tables users
+sessions --join sessions:users:user_id:user_id`` is the command-line form.
 """
 
 from .cache import CachedConditionalModel, CacheStats, ConditionalProbCache
@@ -62,7 +91,16 @@ from .engine import (
     query_rng,
     run_sequential,
 )
-from .workload import load_workload, save_workload
+from .registry import ModelRegistry
+from .router import (
+    FleetReport,
+    FleetRouter,
+    FleetStats,
+    RoutedResult,
+    RoutingError,
+    run_fleet_sequential,
+)
+from .workload import generate_mixed_workload, load_workload, save_workload
 
 __all__ = [
     "EstimationEngine",
@@ -75,6 +113,14 @@ __all__ = [
     "ConditionalProbCache",
     "CachedConditionalModel",
     "CacheStats",
+    "ModelRegistry",
+    "FleetRouter",
+    "FleetReport",
+    "FleetStats",
+    "RoutedResult",
+    "RoutingError",
+    "run_fleet_sequential",
+    "generate_mixed_workload",
     "load_workload",
     "save_workload",
 ]

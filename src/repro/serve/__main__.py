@@ -1,6 +1,6 @@
-"""Command line for the serving layer: replay a workload through the engine.
+"""Command line for the serving layer: replay workloads through the engines.
 
-Usage::
+Single-model usage (one table, one estimator)::
 
     # Generate a 64-query workload over the census table and serve it batched.
     python -m repro.serve --dataset census --num-queries 64
@@ -11,6 +11,18 @@ Usage::
 
     # Write the machine-readable report for dashboards / CI artifacts.
     python -m repro.serve --num-queries 32 --json report.json
+
+Multi-model usage (a registry of relations behind one router)::
+
+    # Serve two base tables plus their join as three routed models.
+    python -m repro.serve --tables users sessions \
+        --join sessions:users:user_id:user_id --num-queries 48
+
+    # Sample the join instead of materialising it, and save the mixed
+    # (table-qualified) workload for replay.
+    python -m repro.serve --tables users sessions \
+        --join sessions:users:user_id:user_id:sess_users --join-sample 2000 \
+        --save-workload mixed.json
 """
 
 from __future__ import annotations
@@ -22,17 +34,42 @@ import sys
 import numpy as np
 
 from ..core import NaruConfig, NaruEstimator
-from ..data import make_census, make_conviva_a, make_dmv
+from ..data import (
+    JoinSpec,
+    make_census,
+    make_conviva_a,
+    make_dmv,
+    make_sessions,
+    make_users,
+)
 from ..query import WorkloadGenerator, true_selectivities
 from ..query.metrics import q_error
 from .engine import EstimationEngine, run_sequential
-from .workload import load_workload, save_workload
+from .registry import ModelRegistry
+from .router import FleetRouter, RoutingError, run_fleet_sequential
+from .workload import generate_mixed_workload, load_workload, save_workload
 
 _DATASETS = {
     "census": make_census,
     "dmv": make_dmv,
     "conviva_a": make_conviva_a,
+    # The users dimension table is sized at rows/8 so the sessions ⨝ users
+    # join keeps realistic fan-out; both sides use the same user population.
+    "users": lambda rows: make_users(max(rows // 8, 16)),
+    "sessions": lambda rows: make_sessions(rows, num_users=max(rows // 8, 16)),
 }
+
+
+def parse_join_spec(text: str, sample_rows: int, seed: int) -> JoinSpec:
+    """Parse a ``LEFT:RIGHT:LEFT_KEY:RIGHT_KEY[:NAME]`` command-line join."""
+    parts = text.split(":")
+    if len(parts) not in (4, 5):
+        raise SystemExit(
+            f"join spec {text!r} must be LEFT:RIGHT:LEFT_KEY:RIGHT_KEY[:NAME]")
+    name = parts[4] if len(parts) == 5 else None
+    how = "sample" if sample_rows > 0 else "materialise"
+    return JoinSpec(parts[0], parts[1], parts[2], parts[3], name=name,
+                    how=how, sample_rows=max(sample_rows, 1), seed=seed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,26 +77,43 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.serve",
         description="Serve a query workload through the batched estimation engine")
     parser.add_argument("--dataset", choices=sorted(_DATASETS), default="census",
-                        help="synthetic table to build and serve against")
+                        help="synthetic table to build and serve against "
+                             "(single-model mode)")
+    parser.add_argument("--tables", nargs="+", metavar="NAME",
+                        choices=sorted(_DATASETS),
+                        help="serve several tables behind one registry/router "
+                             "(multi-model mode; overrides --dataset)")
+    parser.add_argument("--join", action="append", default=[], metavar="SPEC",
+                        help="register a join relation, as "
+                             "LEFT:RIGHT:LEFT_KEY:RIGHT_KEY[:NAME]; repeatable "
+                             "(requires --tables)")
+    parser.add_argument("--join-sample", type=int, default=0, metavar="ROWS",
+                        help="sample this many join tuples through JoinSampler "
+                             "instead of materialising the join (0 = materialise)")
     parser.add_argument("--rows", type=int, default=4000,
-                        help="number of rows of the synthetic table")
+                        help="number of rows of each synthetic table (the "
+                             "'users' dimension table is built with rows/8 "
+                             "users so the sessions join keeps realistic "
+                             "fan-out)")
     parser.add_argument("--workload", metavar="PATH",
                         help="replay a workload file instead of generating one")
     parser.add_argument("--save-workload", metavar="PATH",
                         help="write the served workload to a JSON file")
     parser.add_argument("--num-queries", type=int, default=64,
-                        help="number of generated queries (ignored with --workload)")
+                        help="number of generated queries, split across relations "
+                             "in multi-model mode (ignored with --workload)")
     parser.add_argument("--min-filters", type=int, default=2)
     parser.add_argument("--max-filters", type=int, default=5)
     parser.add_argument("--epochs", type=int, default=5,
-                        help="training epochs of the served Naru model")
+                        help="training epochs of each served Naru model")
     parser.add_argument("--samples", type=int, default=200,
                         help="progressive sample paths per query")
     parser.add_argument("--batch-size", type=int, default=16,
-                        help="queries per micro-batch")
+                        help="queries per (per-model) micro-batch")
     parser.add_argument("--no-cache", action="store_true",
-                        help="disable the conditional-probability cache")
-    parser.add_argument("--cache-entries", type=int, default=65536)
+                        help="disable the conditional-probability caches")
+    parser.add_argument("--cache-entries", type=int, default=65536,
+                        help="cache budget (shared across models in multi-model mode)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--compare-sequential", action="store_true",
                         help="also run the unbatched baseline and print the speedup")
@@ -70,9 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    arguments = build_parser().parse_args(argv)
-
+def _serve_single(arguments) -> int:
     table = _DATASETS[arguments.dataset](arguments.rows)
     print(f"Relation: {table}")
 
@@ -152,6 +204,115 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(document, handle, indent=1)
         print(f"\nReport written to {arguments.json}")
     return 0
+
+
+def _serve_multi(arguments) -> int:
+    registry = ModelRegistry(default_config=NaruConfig(
+        epochs=arguments.epochs, hidden_sizes=(64, 64), batch_size=256,
+        progressive_samples=arguments.samples, seed=arguments.seed))
+    for name in dict.fromkeys(arguments.tables):  # de-dup, keep order
+        table = _DATASETS[name](arguments.rows)
+        registry.register_table(table)
+        print(f"Registered base relation: {table}")
+    for text in arguments.join:
+        spec = parse_join_spec(text, arguments.join_sample, arguments.seed)
+        name = registry.register_join(spec)
+        print(f"Registered join relation: {registry.relation(name)} "
+              f"({spec.how} of {spec.left} ⨝ {spec.right})")
+
+    if arguments.workload:
+        queries = load_workload(arguments.workload)
+        unroutable = sorted({query.table for query in queries
+                             if query.table is not None and query.table not in registry})
+        if unroutable:
+            raise SystemExit(
+                f"workload {arguments.workload!r} targets relations not in "
+                f"this registry: {', '.join(unroutable)} "
+                f"(registered: {', '.join(registry.names)})")
+        print(f"Replaying {len(queries)} queries from {arguments.workload}")
+    else:
+        queries = generate_mixed_workload(
+            {name: registry.relation(name) for name in registry.names},
+            arguments.num_queries, min_filters=arguments.min_filters,
+            max_filters=arguments.max_filters, seed=arguments.seed)
+        print(f"Generated {len(queries)} queries across "
+              f"{len(registry)} relations")
+    if arguments.save_workload:
+        save_workload(arguments.save_workload, queries)
+        print(f"Workload written to {arguments.save_workload}")
+
+    registry.fit_all()
+    for name, entry in registry.size_report().items():
+        print(f"Trained model for {name}: {entry['model_bytes'] / 1e6:.2f} MB "
+              f"({entry['num_rows']} rows x {entry['num_columns']} cols"
+              f"{', join' if entry['is_join'] else ''})")
+    print(f"Fleet model storage: {registry.size_bytes() / 1e6:.2f} MB")
+
+    router = FleetRouter(registry, batch_size=arguments.batch_size,
+                         num_samples=arguments.samples,
+                         use_cache=not arguments.no_cache,
+                         cache_entries=arguments.cache_entries,
+                         seed=arguments.seed)
+    try:
+        report = router.run(queries)
+    except RoutingError as error:
+        raise SystemExit(f"unroutable query: {error}") from None
+    stats = report.stats
+
+    print(f"\nServed {stats.num_queries} queries across {stats.num_models} "
+          f"models ({stats.queries_per_second:.1f} queries/s overall, "
+          f"cache budget {stats.cache_entries_per_model} entries/model)")
+    for route, route_stats in stats.routes.items():
+        cache = route_stats["cache"]
+        hit_rate = f", cache hit rate {cache['hit_rate']:.1%}" if cache else ""
+        print(f"  {route:<24} {route_stats['num_queries']:>4} queries in "
+              f"{route_stats['num_batches']} batches, "
+              f"{route_stats['queries_per_second']:8.1f} queries/s{hit_rate}")
+
+    document = {"fleet": stats.as_dict(),
+                "estimates": [result.selectivity for result in report.results],
+                "routes": [result.route for result in report.results]}
+
+    if arguments.compare_sequential:
+        baseline = run_fleet_sequential(registry, queries,
+                                        num_samples=arguments.samples,
+                                        seed=arguments.seed)
+        speedup = (baseline.stats.elapsed_s / stats.elapsed_s
+                   if stats.elapsed_s > 0 else float("inf"))
+        drift = float(np.max(np.abs(report.selectivities - baseline.selectivities))) \
+            if report.results else 0.0
+        print(f"\nSequential fleet baseline: "
+              f"{baseline.stats.queries_per_second:.1f} queries/s -> "
+              f"routed speedup {speedup:.1f}x (max estimate drift {drift:.2e})")
+        document["sequential"] = baseline.stats.as_dict()
+        document["speedup"] = speedup
+        document["max_estimate_drift"] = drift
+
+    if arguments.q_errors:
+        errors = []
+        for result in report.results:
+            relation = registry.relation(result.route)
+            truth = true_selectivities(relation, [result.query])[0]
+            errors.append(q_error(result.cardinality, truth * relation.num_rows))
+        if errors:
+            print(f"\nq-error: median {np.median(errors):.2f}, "
+                  f"p95 {np.quantile(errors, 0.95):.2f}, max {np.max(errors):.2f}")
+        document["q_errors"] = errors
+
+    if arguments.json:
+        with open(arguments.json, "w") as handle:
+            json.dump(document, handle, indent=1)
+        print(f"\nReport written to {arguments.json}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.join and not arguments.tables:
+        raise SystemExit("--join requires --tables (multi-model mode)")
+    if arguments.tables:
+        return _serve_multi(arguments)
+    return _serve_single(arguments)
 
 
 if __name__ == "__main__":

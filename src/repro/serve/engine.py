@@ -173,10 +173,22 @@ class EstimationEngine:
         """Hit/miss counters of the conditional cache (``None`` when off)."""
         return self._cache.stats.as_dict() if self._cache is not None else None
 
-    def submit(self, query: Query) -> None:
-        """Enqueue one query; dispatches when a micro-batch fills up."""
-        self._pending.append((self._next_index, query))
-        self._next_index += 1
+    def submit(self, query: Query, index: int | None = None) -> None:
+        """Enqueue one query; dispatches when a micro-batch fills up.
+
+        ``index`` overrides the query's position in the workload, which keys
+        its deterministic random stream (see :func:`query_rng`).  The fleet
+        router passes the *global* submission index here, so a query's
+        estimate does not depend on which model it was routed to alongside —
+        only on ``(seed, workload index)``.  Left at ``None``, the engine
+        numbers queries itself, exactly as before.
+        """
+        if index is None:
+            index = self._next_index
+            self._next_index += 1
+        else:
+            self._next_index = max(self._next_index, index + 1)
+        self._pending.append((index, query))
         if len(self._pending) >= self.batch_size:
             self._dispatch()
 
@@ -184,6 +196,26 @@ class EstimationEngine:
         """Dispatch any partially filled micro-batch."""
         if self._pending:
             self._dispatch()
+
+    def reset(self) -> None:
+        """Start a fresh workload scope: drop results and batch records.
+
+        Per-query indices restart at zero; only the conditional cache
+        carries over (that is what makes repeat workloads faster).
+
+        Raises
+        ------
+        RuntimeError
+            If submitted queries are still pending — flush them first,
+            otherwise their results would be silently dropped.
+        """
+        if self._pending:
+            raise RuntimeError(
+                f"{len(self._pending)} submitted queries are still pending; "
+                "call flush() and report() before starting a new scope")
+        self._next_index = 0
+        self._results = []
+        self._batches = []
 
     def run(self, queries: list[Query]) -> EngineReport:
         """Serve a whole workload and return per-query results plus stats.
@@ -198,15 +230,10 @@ class EstimationEngine:
         RuntimeError
             If queries submitted through :meth:`submit` are still pending —
             finish the streaming scope (``flush()`` + ``report()``) first,
-            otherwise their results would be silently dropped.
+            otherwise their results would be silently dropped (the guard
+            lives in :meth:`reset`).
         """
-        if self._pending:
-            raise RuntimeError(
-                f"{len(self._pending)} submitted queries are still pending; "
-                "call flush() and report() before run()")
-        self._next_index = 0
-        self._results = []
-        self._batches = []
+        self.reset()
         for query in queries:
             self.submit(query)
         self.flush()
@@ -260,13 +287,16 @@ class EstimationEngine:
 
 
 def run_sequential(estimator, queries: list[Query], *,
-                   num_samples: int | None = None, seed: int = 0) -> EngineReport:
+                   num_samples: int | None = None, seed: int = 0,
+                   indices: list[int] | None = None) -> EngineReport:
     """Unbatched, uncached baseline: one sampler pass per query.
 
     Uses the same deterministic per-query streams as
     :class:`EstimationEngine`, so the estimates match the batched engine's
     (up to float round-off) while paying the full sequential cost — the
-    comparison the throughput benchmark reports.
+    comparison the throughput benchmark reports.  ``indices`` overrides the
+    per-query workload indices (the fleet baseline passes each query's global
+    submission index so the streams match the routed engines').
     """
     model = getattr(estimator, "model", None)
     if model is None:
@@ -275,11 +305,15 @@ def run_sequential(estimator, queries: list[Query], *,
     if num_samples is None:
         config = getattr(estimator, "config", None)
         num_samples = getattr(config, "progressive_samples", None) or 1000
+    if indices is None:
+        indices = list(range(len(queries)))
+    elif len(indices) != len(queries):
+        raise ValueError("indices and queries must have the same length")
     sampler = ProgressiveSampler(model, seed=seed)
     table = estimator.table
     results: list[EstimateResult] = []
     batches: list[BatchRecord] = []
-    for index, query in enumerate(queries):
+    for position, (index, query) in enumerate(zip(indices, queries)):
         start = time.perf_counter()
         selectivity = sampler.estimate_selectivity_batch(
             [query.column_masks(table)], num_samples=num_samples,
@@ -289,8 +323,8 @@ def run_sequential(estimator, queries: list[Query], *,
         results.append(EstimateResult(index=index, query=query,
                                       selectivity=selectivity,
                                       cardinality=selectivity * estimator.num_rows,
-                                      batch_index=index))
-        batches.append(BatchRecord(batch_index=index, num_queries=1,
+                                      batch_index=position))
+        batches.append(BatchRecord(batch_index=position, num_queries=1,
                                    latency_ms=latency_ms))
     elapsed_s = sum(batch.latency_ms for batch in batches) / 1000.0
     stats = EngineStats(num_queries=len(results), num_batches=len(batches),

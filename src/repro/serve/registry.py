@@ -1,0 +1,223 @@
+"""Named fleet of estimators: one model per registered relation.
+
+:class:`ModelRegistry` is the model-management half of multi-model serving.
+It holds *named relations* — base tables and join results alike, following the
+paper's §4.1 observation that a joined relation is served exactly like a base
+table — and builds one estimator per relation on demand:
+
+* :meth:`ModelRegistry.register_table` registers a base :class:`Table`,
+* :meth:`ModelRegistry.register_join` registers a
+  :class:`repro.data.JoinSpec`, resolves its inputs against the already
+  registered relations and materialises (or samples) the join result,
+* :meth:`ModelRegistry.estimator` returns the relation's trained estimator,
+  building and fitting it lazily on first use; :meth:`ModelRegistry.fit_all`
+  trains every pending model eagerly (what a server does at startup so the
+  first routed query does not pay the training cost),
+* :meth:`ModelRegistry.size_bytes` / :meth:`ModelRegistry.size_report` roll
+  the per-model storage budgets up to the fleet level, the quantity the
+  paper's storage-budget comparisons cap per relation.
+
+The registry is deliberately estimator-agnostic: pre-built, already trained
+estimators (any :class:`repro.estimators.base.CardinalityEstimator`) can be
+registered directly, and relations without one default to a :class:`repro.core
+.NaruEstimator` built from the registry's default config and fitted by the
+registry itself.  The routing half —
+micro-batching queries per model and merging reports — lives in
+:class:`repro.serve.router.FleetRouter`.
+"""
+
+from __future__ import annotations
+
+from ..core.config import NaruConfig
+from ..core.estimator import NaruEstimator
+from ..data.joins import JoinSpec
+from ..data.table import Table
+from ..estimators.base import CardinalityEstimator
+
+__all__ = ["ModelRegistry"]
+
+
+class ModelRegistry:
+    """Registry of named relations and the estimators that serve them.
+
+    Parameters
+    ----------
+    default_config:
+        :class:`~repro.core.config.NaruConfig` used for relations registered
+        without an explicit config or pre-built estimator.
+    seed:
+        Seed of the default config built when ``default_config`` is omitted
+        (keeps a fleet reproducible from a single knob).
+    """
+
+    def __init__(self, *, default_config: NaruConfig | None = None,
+                 seed: int = 0) -> None:
+        self.default_config = default_config or NaruConfig(seed=seed)
+        self.seed = seed
+        self._relations: dict[str, Table] = {}
+        self._configs: dict[str, NaruConfig] = {}
+        self._estimators: dict[str, CardinalityEstimator] = {}
+        self._fitted: set[str] = set()
+        self._joins: dict[str, JoinSpec] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register_table(self, table: Table, *, name: str | None = None,
+                       config: NaruConfig | None = None,
+                       estimator: CardinalityEstimator | None = None) -> str:
+        """Register a base table as a named relation and return its name.
+
+        Parameters
+        ----------
+        table:
+            The relation to serve.
+        name:
+            Registry name; defaults to ``table.name``.
+        config:
+            Per-model config overriding the registry default (ignored when
+            ``estimator`` is given).
+        estimator:
+            Pre-built estimator to serve this relation with instead of a
+            lazily built Naru model.  It must arrive ready to serve (already
+            trained): the registry only manages the fit lifecycle of models
+            it builds itself — it cannot know what arguments an arbitrary
+            estimator's ``fit`` needs (MSCN wants a training workload, the
+            KDE variants want feedback, …).
+        """
+        name = name or table.name
+        if name in self._relations:
+            raise ValueError(f"relation {name!r} is already registered")
+        if estimator is not None:
+            if estimator.table is not table:
+                raise ValueError(
+                    f"estimator for {name!r} was built against table "
+                    f"{estimator.table.name!r}, not the registered relation")
+            if not getattr(estimator, "_fitted", True):
+                raise ValueError(
+                    f"estimator for {name!r} is not fitted; train it before "
+                    "registering (the registry only fits models it builds)")
+        self._relations[name] = table
+        if estimator is not None:
+            self._estimators[name] = estimator
+            self._fitted.add(name)
+        elif config is not None:
+            self._configs[name] = config
+        return name
+
+    def register_join(self, spec: JoinSpec, *,
+                      config: NaruConfig | None = None) -> str:
+        """Build a join relation from registered inputs and register it.
+
+        The spec's ``left``/``right`` names are resolved against the
+        relations registered so far; the resulting table (materialised or
+        sampled, per ``spec.how``) becomes a first-class named relation that
+        routes and budgets exactly like a base table.  Returns the relation
+        name.
+        """
+        name = spec.relation_name
+        if name in self._relations:
+            raise ValueError(f"relation {name!r} is already registered")
+        table = spec.build(self._relations)
+        self.register_table(table, name=name, config=config)
+        self._joins[name] = spec
+        return name
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations)
+
+    @property
+    def names(self) -> list[str]:
+        """Registered relation names, in registration order."""
+        return list(self._relations)
+
+    def relation(self, name: str) -> Table:
+        """The table backing one registered relation."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            known = ", ".join(self.names) or "none"
+            raise KeyError(f"no relation named {name!r}; "
+                           f"registered: {known}") from None
+
+    def join_spec(self, name: str) -> JoinSpec | None:
+        """The :class:`JoinSpec` a relation was built from (``None`` for base tables)."""
+        self.relation(name)  # raise uniformly for unknown names
+        return self._joins.get(name)
+
+    def is_fitted(self, name: str) -> bool:
+        """Whether the relation's estimator has been built and trained."""
+        self.relation(name)
+        return name in self._fitted
+
+    # ------------------------------------------------------------------ #
+    # Estimator lifecycle
+    # ------------------------------------------------------------------ #
+    def _config_for(self, name: str) -> NaruConfig:
+        return self._configs.get(name, self.default_config)
+
+    def estimator(self, name: str, *, fit: bool = True) -> CardinalityEstimator:
+        """The estimator serving one relation, built (and fitted) lazily.
+
+        The first call builds the model; with ``fit=True`` (the default) it
+        is also trained before being returned, so callers always receive a
+        servable estimator.  Later calls return the same object.
+        """
+        table = self.relation(name)
+        estimator = self._estimators.get(name)
+        if estimator is None:
+            estimator = NaruEstimator(table, self._config_for(name))
+            self._estimators[name] = estimator
+        if fit and name not in self._fitted:
+            # Only registry-built Naru models reach this branch: pre-built
+            # estimators are required to arrive fitted at registration.
+            estimator.fit()
+            self._fitted.add(name)
+        return estimator
+
+    def fit_all(self) -> dict[str, CardinalityEstimator]:
+        """Build and train every registered model; returns ``name -> estimator``.
+
+        Idempotent: already fitted models are returned as-is.
+        """
+        return {name: self.estimator(name) for name in self._relations}
+
+    # ------------------------------------------------------------------ #
+    # Budget accounting
+    # ------------------------------------------------------------------ #
+    def size_report(self) -> dict[str, dict]:
+        """Per-relation budget accounting, rolled up by :meth:`size_bytes`.
+
+        For each relation: the estimator's model size (0 until the model is
+        built), the raw relation footprint, row/column counts, whether the
+        model is trained, and whether the relation is a join.
+        """
+        report: dict[str, dict] = {}
+        for name, table in self._relations.items():
+            estimator = self._estimators.get(name)
+            report[name] = {
+                "model_bytes": estimator.size_bytes() if estimator is not None else 0,
+                "relation_bytes": table.in_memory_bytes(),
+                "num_rows": table.num_rows,
+                "num_columns": table.num_columns,
+                "fitted": name in self._fitted,
+                "is_join": name in self._joins,
+            }
+        return report
+
+    def size_bytes(self) -> int:
+        """Total model storage of the fleet (built models only)."""
+        return sum(entry["model_bytes"] for entry in self.size_report().values())
+
+    def __repr__(self) -> str:
+        return (f"ModelRegistry({len(self)} relations: "
+                f"{', '.join(self.names) or 'empty'})")

@@ -1,0 +1,294 @@
+"""Routing table-qualified queries across a fleet of per-model engines.
+
+:class:`FleetRouter` is the serving half of multi-model estimation.  It fronts
+a :class:`repro.serve.registry.ModelRegistry` with one thin
+:class:`~repro.serve.engine.EstimationEngine` per registered relation and
+
+* **routes** every submitted query to the engine named by its ``table``
+  qualifier (falling back to a configurable default route; unroutable
+  queries raise :class:`RoutingError` immediately — nothing is dropped),
+* keeps **per-model micro-batches**: each engine fills and dispatches its own
+  batches, so a burst against one relation cannot delay another relation's
+  queries past its own batch boundary,
+* splits one shared ``cache_entries`` budget evenly into **per-model LRU
+  caches** (conditional-probability distributions are only reusable within a
+  model, so the caches are private but the memory budget is fleet-wide), and
+* **merges** the per-model reports into a single :class:`FleetReport` with
+  per-route throughput and cache statistics.
+
+Determinism: every query's random stream is keyed by ``(seed, workload
+index)`` where the index is the *global* submission order, not the position
+inside the routed engine.  Estimates are therefore independent of both
+micro-batch boundaries *and* routing order — running the same mixed workload
+with ``batch_size=1`` or ``batch_size=64`` returns the same numbers per model
+(up to float round-off), and so does :func:`run_fleet_sequential`, the
+N-independent-sequential-engines baseline of the ``serve_multi`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..query.predicates import Query
+from .engine import EngineReport, EstimationEngine, run_sequential
+from .registry import ModelRegistry
+
+__all__ = ["RoutingError", "RoutedResult", "FleetStats", "FleetReport",
+           "FleetRouter", "run_fleet_sequential"]
+
+
+class RoutingError(LookupError):
+    """A query could not be mapped to a registered relation.
+
+    Raised at submission time — a misrouted query fails loudly instead of
+    silently vanishing from the report.
+    """
+
+
+@dataclass(frozen=True)
+class RoutedResult:
+    """Per-query output of the fleet: an estimate plus the route that served it."""
+
+    index: int
+    route: str
+    query: Query
+    selectivity: float
+    cardinality: float
+    batch_index: int
+
+
+@dataclass
+class FleetStats:
+    """Fleet-wide throughput statistics with a per-route breakdown."""
+
+    num_queries: int = 0
+    num_models: int = 0
+    elapsed_s: float = 0.0
+    cache_entries_total: int = 0
+    cache_entries_per_model: int = 0
+    #: Route name -> that engine's ``EngineStats.as_dict()`` (includes the
+    #: route's query count, batch count, QPS and cache hit/miss counters).
+    routes: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.num_queries / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "num_queries": self.num_queries,
+            "num_models": self.num_models,
+            "elapsed_s": self.elapsed_s,
+            "queries_per_second": self.queries_per_second,
+            "cache_entries_total": self.cache_entries_total,
+            "cache_entries_per_model": self.cache_entries_per_model,
+            "routes": self.routes,
+        }
+
+
+@dataclass
+class FleetReport:
+    """Merged per-model reports of one served mixed workload."""
+
+    #: All results in global submission order.
+    results: list[RoutedResult] = field(default_factory=list)
+    #: Route name -> the full per-model :class:`EngineReport`.
+    routes: dict[str, EngineReport] = field(default_factory=dict)
+    stats: FleetStats = field(default_factory=FleetStats)
+
+    @property
+    def selectivities(self) -> np.ndarray:
+        return np.asarray([result.selectivity for result in self.results])
+
+    @property
+    def cardinalities(self) -> np.ndarray:
+        return np.asarray([result.cardinality for result in self.results])
+
+    def route_of(self, index: int) -> str:
+        """The relation that served the query at one global index."""
+        return self.results[index].route
+
+
+def _merge_reports(routes: dict[str, EngineReport], *, num_models: int,
+                   cache_entries_total: int,
+                   cache_entries_per_model: int) -> FleetReport:
+    """Fold per-model reports into one fleet report in global index order."""
+    merged = [
+        RoutedResult(index=result.index, route=route, query=result.query,
+                     selectivity=result.selectivity,
+                     cardinality=result.cardinality,
+                     batch_index=result.batch_index)
+        for route, report in routes.items()
+        for result in report.results
+    ]
+    merged.sort(key=lambda result: result.index)
+    stats = FleetStats(
+        num_queries=len(merged),
+        num_models=num_models,
+        elapsed_s=sum(report.stats.elapsed_s for report in routes.values()),
+        cache_entries_total=cache_entries_total,
+        cache_entries_per_model=cache_entries_per_model,
+        routes={route: report.stats.as_dict()
+                for route, report in routes.items()},
+    )
+    return FleetReport(results=merged, routes=routes, stats=stats)
+
+
+class FleetRouter:
+    """Route table-qualified queries to per-model estimation engines.
+
+    Parameters
+    ----------
+    registry:
+        The model fleet.  Estimators are built and fitted lazily on the first
+        query routed to them; call ``registry.fit_all()`` up front to keep
+        training cost out of the serving path.
+    batch_size:
+        Per-model micro-batch capacity (each engine batches independently).
+    num_samples:
+        Progressive sample paths per query; ``None`` defers to each
+        estimator's own config.
+    use_cache:
+        Enable the per-model conditional-probability LRU caches.
+    cache_entries:
+        *Shared* fleet-wide cache budget (total distributions across all
+        models); each model receives an equal ``cache_entries / len(registry)``
+        slice, sized at registration count so the split is stable.
+    seed:
+        Base seed of the per-query random streams (shared by all engines, so
+        a query's stream depends only on its global index).
+    default_route:
+        Relation serving queries without a ``table`` qualifier.  Defaults to
+        the registry's only relation when it has exactly one; with several
+        models and no default, unqualified queries raise
+        :class:`RoutingError`.
+    """
+
+    def __init__(self, registry: ModelRegistry, *, batch_size: int = 32,
+                 num_samples: int | None = None, use_cache: bool = True,
+                 cache_entries: int = 262144, seed: int = 0,
+                 default_route: str | None = None) -> None:
+        if len(registry) == 0:
+            raise ValueError("the registry has no relations to serve")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if default_route is not None and default_route not in registry:
+            raise ValueError(f"default route {default_route!r} is not a "
+                             f"registered relation ({', '.join(registry.names)})")
+        if default_route is None and len(registry) == 1:
+            default_route = registry.names[0]
+        self.registry = registry
+        self.batch_size = batch_size
+        self.num_samples = num_samples
+        self.use_cache = use_cache
+        self.cache_entries = cache_entries
+        self.cache_entries_per_model = max(1, cache_entries // len(registry))
+        self.seed = seed
+        self.default_route = default_route
+        self._engines: dict[str, EstimationEngine] = {}
+        self._next_index = 0
+
+    # ------------------------------------------------------------------ #
+    def resolve_route(self, query: Query) -> str:
+        """The relation a query routes to; raises :class:`RoutingError` if none."""
+        route = query.table or self.default_route
+        if route is None:
+            raise RoutingError(
+                f"query {query!r} has no table qualifier and the fleet "
+                f"serves {len(self.registry)} relations "
+                f"({', '.join(self.registry.names)}); qualify the query or "
+                "set default_route")
+        if route not in self.registry:
+            raise RoutingError(
+                f"query {query!r} targets unregistered relation {route!r}; "
+                f"registered: {', '.join(self.registry.names)}")
+        return route
+
+    def engine(self, route: str) -> EstimationEngine:
+        """The per-model engine of one route, created on first use."""
+        engine = self._engines.get(route)
+        if engine is None:
+            engine = EstimationEngine(
+                self.registry.estimator(route), batch_size=self.batch_size,
+                num_samples=self.num_samples, use_cache=self.use_cache,
+                cache_entries=self.cache_entries_per_model, seed=self.seed)
+            self._engines[route] = engine
+        return engine
+
+    # ------------------------------------------------------------------ #
+    def submit(self, query: Query) -> str:
+        """Route and enqueue one query; returns the route it was assigned.
+
+        The query's random stream is keyed by its global submission index, so
+        its estimate is independent of what else is in flight.  Raises
+        :class:`RoutingError` (without consuming an index) when the query
+        cannot be routed.
+        """
+        route = self.resolve_route(query)
+        index = self._next_index
+        self._next_index += 1
+        self.engine(route).submit(query, index=index)
+        return route
+
+    def flush(self) -> None:
+        """Dispatch every engine's partially filled micro-batch."""
+        for engine in self._engines.values():
+            engine.flush()
+
+    def run(self, queries: list[Query]) -> FleetReport:
+        """Serve a whole mixed workload and return the merged fleet report.
+
+        Like :meth:`EstimationEngine.run`, each call is its own workload
+        scope: global indices restart at zero and the report covers only this
+        call; only the per-model caches carry over.
+        """
+        if any(engine._pending for engine in self._engines.values()):
+            raise RuntimeError("submitted queries are still pending; call "
+                               "flush() and report() before run()")
+        for engine in self._engines.values():
+            engine.reset()
+        self._next_index = 0
+        for query in queries:
+            self.submit(query)
+        self.flush()
+        return self.report()
+
+    def report(self) -> FleetReport:
+        """Merged snapshot of everything served so far, in submission order."""
+        routes = {route: engine.report()
+                  for route, engine in self._engines.items()}
+        return _merge_reports(routes, num_models=len(self.registry),
+                              cache_entries_total=self.cache_entries,
+                              cache_entries_per_model=self.cache_entries_per_model)
+
+
+def run_fleet_sequential(registry: ModelRegistry, queries: list[Query], *,
+                         num_samples: int | None = None, seed: int = 0,
+                         default_route: str | None = None) -> FleetReport:
+    """N-independent-sequential-engines baseline for a mixed workload.
+
+    Routes the workload exactly like :class:`FleetRouter`, then answers each
+    relation's queries one at a time through :func:`run_sequential` — no
+    micro-batching, no caching, models visited one after another.  Queries
+    keep their global submission indices, so the estimates match the fleet's
+    (up to float round-off); the ``serve_multi`` benchmark reports the
+    throughput ratio between the two.
+    """
+    router = FleetRouter(registry, batch_size=1, num_samples=num_samples,
+                         use_cache=False, seed=seed, default_route=default_route)
+    per_route: dict[str, tuple[list[int], list[Query]]] = {}
+    for index, query in enumerate(queries):
+        route = router.resolve_route(query)
+        indices, routed = per_route.setdefault(route, ([], []))
+        indices.append(index)
+        routed.append(query)
+    routes = {
+        route: run_sequential(registry.estimator(route), routed,
+                              num_samples=num_samples, seed=seed,
+                              indices=indices)
+        for route, (indices, routed) in per_route.items()
+    }
+    return _merge_reports(routes, num_models=len(registry),
+                          cache_entries_total=0, cache_entries_per_model=0)

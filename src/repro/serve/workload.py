@@ -1,33 +1,60 @@
 """Saving and replaying workload files.
 
-A workload file is a small JSON document holding the predicate lists of the
-queries produced by :mod:`repro.query.generator` (or written by hand), so a
-serving run can be replayed bit-for-bit later or on another machine::
+A workload file is a small JSON document holding the queries produced by
+:mod:`repro.query.generator` (or written by hand), so a serving run can be
+replayed bit-for-bit later or on another machine.  Two formats are understood:
 
-    {
-      "version": 1,
-      "table": "census",
-      "queries": [
-        [["age", "<=", 40], ["sex", "=", "sex_0"]],
-        ...
-      ]
-    }
+* **Version 1** (single relation) stores each query as a bare predicate
+  list; an optional document-level ``"table"`` records which relation the
+  workload was generated against::
 
-Values are stored as plain JSON scalars; ``IN`` predicates store a list of
-values and ``BETWEEN`` predicates store a two-element ``[low, high]`` list.
+      {
+        "version": 1,
+        "table": "census",
+        "queries": [
+          [["age", "<=", 40], ["sex", "=", "sex_0"]],
+          ...
+        ]
+      }
+
+* **Version 2** (multi relation) stores each query as an object with an
+  explicit ``"table"`` qualifier, so one file can mix queries against many
+  registered relations (base tables *and* joins) and be replayed through a
+  :class:`repro.serve.FleetRouter`::
+
+      {
+        "version": 2,
+        "table": "census",            # optional default for unqualified queries
+        "queries": [
+          {"table": "dmv", "predicates": [["state", "=", "state_3"]]},
+          {"predicates": [["age", "<=", 40]]},   # falls back to the default
+          ...
+        ]
+      }
+
+:func:`save_workload` writes version 1 when no query carries a qualifier
+(bit-identical to the files older releases wrote) and version 2 otherwise;
+:func:`load_workload` reads both.  Values are stored as plain JSON scalars;
+``IN`` predicates store a list of values and ``BETWEEN`` predicates store a
+two-element ``[low, high]`` list.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Mapping
 
 import numpy as np
 
+from ..data.table import Table
+from ..query.generator import WorkloadGenerator
 from ..query.predicates import Operator, Predicate, Query
 
-__all__ = ["save_workload", "load_workload", "queries_to_specs", "specs_to_queries"]
+__all__ = ["save_workload", "load_workload", "queries_to_specs",
+           "specs_to_queries", "generate_mixed_workload"]
 
 _FORMAT_VERSION = 1
+_MULTI_FORMAT_VERSION = 2
 
 
 def _json_value(value: object) -> object:
@@ -39,33 +66,97 @@ def _json_value(value: object) -> object:
     return value
 
 
-def queries_to_specs(queries: list[Query]) -> list[list[list]]:
-    """Plain-data representation of a list of queries."""
-    return [[[predicate.column, predicate.operator.value, _json_value(predicate.value)]
-             for predicate in query]
+def _predicate_specs(query: Query) -> list[list]:
+    return [[predicate.column, predicate.operator.value, _json_value(predicate.value)]
+            for predicate in query]
+
+
+def queries_to_specs(queries: list[Query]) -> list:
+    """Plain-data representation of a list of queries.
+
+    Unqualified queries serialise to the version-1 predicate-list form; a
+    query with a ``table`` qualifier serialises to the version-2 object form.
+    """
+    return [{"table": query.table, "predicates": _predicate_specs(query)}
+            if query.table is not None else _predicate_specs(query)
             for query in queries]
 
 
-def specs_to_queries(specs: list[list[list]]) -> list[Query]:
-    """Rebuild queries from their plain-data representation."""
+def specs_to_queries(specs: list, default_table: str | None = None) -> list[Query]:
+    """Rebuild queries from their plain-data representation.
+
+    Accepts both spec forms: a bare predicate list (version 1) and an object
+    with ``"table"`` and ``"predicates"`` keys (version 2).  ``default_table``
+    qualifies the queries whose spec does not name a relation itself.
+    """
     queries = []
     for spec in specs:
+        if isinstance(spec, dict):
+            table = spec.get("table") or default_table
+            predicate_specs = spec["predicates"]
+        else:
+            table = default_table
+            predicate_specs = spec
         predicates = []
-        for column, operator, value in spec:
+        for column, operator, value in predicate_specs:
             operator = Operator(operator)
             if operator is Operator.BETWEEN:
                 low, high = value
                 value = (low, high)
             predicates.append(Predicate(column, operator, value))
-        queries.append(Query(predicates))
+        queries.append(Query(predicates, table=table))
+    return queries
+
+
+def generate_mixed_workload(relations: Mapping[str, Table], num_queries: int, *,
+                            min_filters: int = 2, max_filters: int = 5,
+                            seed: int = 0) -> list[Query]:
+    """Generate a table-qualified workload spread across many relations.
+
+    ``num_queries`` is split as evenly as possible over the relations (the
+    remainder goes to the earliest ones, so no query is silently dropped) and
+    the per-relation workloads are interleaved round-robin, so every
+    micro-batch window of a fleet run mixes routes.  Each relation draws from
+    its own deterministic generator seeded with ``seed`` plus its position.
+    This is the one workload builder shared by the multi-model CLI, the
+    ``serve_multi`` benchmark and the examples.
+    """
+    if num_queries < 0:
+        raise ValueError("num_queries must be non-negative")
+    names = list(relations)
+    if not names:
+        raise ValueError("at least one relation is required")
+    per_relation = []
+    for offset, name in enumerate(names):
+        relation = relations[name]
+        generator = WorkloadGenerator(
+            relation, min_filters=min(min_filters, relation.num_columns),
+            max_filters=min(max_filters, relation.num_columns),
+            seed=seed + offset)
+        count = num_queries // len(names) + \
+            (1 if offset < num_queries % len(names) else 0)
+        per_relation.append([query.qualified(name)
+                             for query in generator.generate(count)])
+    shortest = min(len(bundle) for bundle in per_relation)
+    queries = [query for round_robin in zip(*per_relation)
+               for query in round_robin]
+    for bundle in per_relation:
+        queries.extend(bundle[shortest:])
     return queries
 
 
 def save_workload(path: str, queries: list[Query],
                   table_name: str | None = None) -> None:
-    """Write a workload file that :func:`load_workload` can replay."""
+    """Write a workload file that :func:`load_workload` can replay.
+
+    ``table_name`` records the default relation of the workload.  The file is
+    written in the version-1 single-relation format unless at least one query
+    carries its own ``table`` qualifier, in which case the version-2
+    multi-relation format is used.
+    """
+    multi = any(query.table is not None for query in queries)
     document = {
-        "version": _FORMAT_VERSION,
+        "version": _MULTI_FORMAT_VERSION if multi else _FORMAT_VERSION,
         "table": table_name,
         "queries": queries_to_specs(queries),
     }
@@ -84,12 +175,24 @@ def load_workload(path: str, expected_table: str | None = None) -> list[Query]:
     expected_table:
         When given and the file records the table it was generated against,
         a mismatch raises ``ValueError`` instead of letting the queries fail
-        (or silently estimate) against the wrong relation.
+        (or silently estimate) against the wrong relation.  Version-2 files
+        may still qualify individual queries with other relations; the check
+        covers the document-level default only.
+
+    Returns
+    -------
+    list[Query]
+        Queries qualified with their recorded table: per-query qualifiers in
+        version-2 files, falling back to the document-level ``"table"`` in
+        both formats (``None`` when the file records no table at all).  The
+        qualifier is ignored by single-model serving and lets a
+        :class:`repro.serve.FleetRouter` replay any workload file against
+        the right relation.
     """
     with open(path) as handle:
         document = json.load(handle)
     version = document.get("version")
-    if version != _FORMAT_VERSION:
+    if version not in (_FORMAT_VERSION, _MULTI_FORMAT_VERSION):
         raise ValueError(f"unsupported workload file version {version!r}")
     recorded = document.get("table")
     if expected_table is not None and recorded is not None \
@@ -97,4 +200,4 @@ def load_workload(path: str, expected_table: str | None = None) -> list[Query]:
         raise ValueError(
             f"workload file {path!r} was generated against table "
             f"{recorded!r}, not {expected_table!r}")
-    return specs_to_queries(document["queries"])
+    return specs_to_queries(document["queries"], default_table=recorded)

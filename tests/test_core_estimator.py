@@ -89,8 +89,20 @@ class TestNaruEstimatorAccuracy:
         assert 0.0 < likelihood <= 1.0
 
     def test_point_likelihood_requires_all_columns(self, trained_naru, tiny_table):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="missing"):
             trained_naru.point_likelihood({"city": tiny_table.raw_row(0)[0]})
+
+    def test_point_likelihood_rejects_unknown_columns(self, trained_naru, tiny_table):
+        # Unknown names must raise a clear ValueError *before* the encoding
+        # loop can surface an opaque KeyError — even when every real column
+        # is present alongside the bogus one.
+        values = dict(zip(tiny_table.column_names, tiny_table.raw_row(0)))
+        values["no_such_column"] = 1
+        with pytest.raises(ValueError, match="no_such_column"):
+            trained_naru.point_likelihood(values)
+        # And the unknown-name diagnosis wins over the missing-name one.
+        with pytest.raises(ValueError, match="not in table"):
+            trained_naru.point_likelihood({"bogus": 1})
 
     def test_entropy_gap_reported(self, trained_naru):
         gap = trained_naru.entropy_gap_bits(sample_rows=500)

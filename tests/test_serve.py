@@ -267,6 +267,57 @@ class TestWorkloadFiles:
         with pytest.raises(ValueError):
             load_workload(path)
 
+    def test_unqualified_workloads_keep_version_1(self, workload, tmp_path):
+        """Files without table qualifiers stay bit-compatible with PR 1."""
+        path = os.path.join(tmp_path, "workload.json")
+        save_workload(path, workload[:3], table_name="serve")
+        with open(path) as handle:
+            document = json.load(handle)
+        assert document["version"] == 1
+        assert all(isinstance(spec, list) for spec in document["queries"])
+        # The recorded table becomes each query's qualifier on load, so a
+        # fleet router can replay single-model files against the right route.
+        assert all(query.table == "serve" for query in load_workload(path))
+        with open(path, "w") as handle:
+            json.dump({"version": 1, "table": None,
+                       "queries": document["queries"]}, handle)
+        assert all(query.table is None for query in load_workload(path))
+
+    def test_qualified_roundtrip_preserves_tables(self, workload, tmp_path):
+        path = os.path.join(tmp_path, "mixed.json")
+        mixed = [workload[0].qualified("serve"),
+                 workload[1],                       # unqualified in a v2 file
+                 Query([Predicate("a", Operator.BETWEEN, (2, 9)),
+                        Predicate("b", Operator.IN, ["b_0", "b_2"])],
+                       table="other_relation")]
+        save_workload(path, mixed, table_name="serve")
+        with open(path) as handle:
+            document = json.load(handle)
+        assert document["version"] == 2
+        loaded = load_workload(path)
+        assert loaded[0].table == "serve"
+        # The unqualified query inherits the document-level default table.
+        assert loaded[1].table == "serve"
+        assert loaded[2].table == "other_relation"
+        for original, restored in zip(mixed, loaded):
+            assert [(p.column, p.operator) for p in original] == \
+                [(p.column, p.operator) for p in restored]
+
+    def test_qualified_roundtrip_without_default_table(self, workload, tmp_path):
+        path = os.path.join(tmp_path, "mixed.json")
+        mixed = [workload[0].qualified("serve"), workload[1]]
+        save_workload(path, mixed)
+        loaded = load_workload(path)
+        assert loaded[0].table == "serve"
+        assert loaded[1].table is None
+
+    def test_expected_table_checks_v2_default(self, workload, tmp_path):
+        path = os.path.join(tmp_path, "mixed.json")
+        save_workload(path, [workload[0].qualified("serve")], table_name="serve")
+        with pytest.raises(ValueError, match="generated against table"):
+            load_workload(path, expected_table="another_table")
+        assert len(load_workload(path, expected_table="serve")) == 1
+
 
 class TestServeCLI:
     def test_end_to_end_with_replay(self, tmp_path):
@@ -295,3 +346,41 @@ class TestServeCLI:
             replay = json.load(handle)
         assert replay["engine"]["cache"] is None
         assert replay["max_estimate_drift"] <= 1e-9
+
+    def test_multi_model_end_to_end_with_replay(self, tmp_path):
+        workload_path = os.path.join(tmp_path, "mixed.json")
+        report_path = os.path.join(tmp_path, "fleet.json")
+        exit_code = serve_main([
+            "--tables", "users", "sessions",
+            "--join", "sessions:users:user_id:user_id",
+            "--rows", "400", "--num-queries", "9", "--epochs", "1",
+            "--samples", "40", "--batch-size", "3", "--seed", "5",
+            "--save-workload", workload_path, "--json", report_path,
+            "--compare-sequential", "--q-errors",
+        ])
+        assert exit_code == 0
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert report["fleet"]["num_queries"] == 9
+        assert report["fleet"]["num_models"] == 3
+        assert set(report["routes"]) == {"users", "sessions",
+                                         "sessions_join_users"}
+        assert len(report["estimates"]) == 9
+        assert len(report["q_errors"]) == 9
+        assert report["max_estimate_drift"] <= 1e-9
+
+        replay_code = serve_main([
+            "--tables", "users", "sessions",
+            "--join", "sessions:users:user_id:user_id",
+            "--rows", "400", "--workload", workload_path, "--epochs", "1",
+            "--samples", "40", "--seed", "5", "--json", report_path,
+        ])
+        assert replay_code == 0
+        with open(report_path) as handle:
+            replay = json.load(handle)
+        assert replay["estimates"] == report["estimates"]
+        assert replay["routes"] == report["routes"]
+
+    def test_join_without_tables_rejected(self):
+        with pytest.raises(SystemExit, match="--join requires --tables"):
+            serve_main(["--join", "a:b:k:k"])
