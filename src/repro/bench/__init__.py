@@ -8,6 +8,7 @@ from .experiments import (
     figure7_entropy_gap,
     figure8_column_scaling,
     serve_multi,
+    serve_replicated,
     serve_throughput,
     table3_dmv_accuracy,
     table4_conviva_accuracy,
@@ -45,6 +46,7 @@ __all__ = [
     "table8_data_shift",
     "serve_throughput",
     "serve_multi",
+    "serve_replicated",
     "EXPERIMENTS",
     "run_experiment",
     "list_experiments",

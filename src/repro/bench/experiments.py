@@ -84,6 +84,7 @@ __all__ = [
     "table8_data_shift",
     "serve_throughput",
     "serve_multi",
+    "serve_replicated",
 ]
 
 
@@ -701,4 +702,147 @@ def serve_multi(scale: ExperimentScale | None = None) -> dict:
         "num_queries": len(queries),
         "estimates": [result.selectivity for result in warm.results],
         "routes": [result.route for result in warm.results],
+    }
+
+
+def serve_replicated(scale: ExperimentScale | None = None) -> dict:
+    """Beyond the paper: replicated hot-relation serving with admission control.
+
+    A skewed mixed workload (``serve_repl_hot_fraction`` of the queries hammer
+    the sessions fact table) is answered four ways over the same two trained
+    models:
+
+    * ``sequential`` — one unbatched, uncached sampler pass per query, the
+      single-engine-per-relation baseline,
+    * ``replicated-cold`` / ``replicated-warm`` — a
+      :class:`repro.serve.FleetRouter` with the hot relation registered at
+      ``serve_repl_replicas`` engine replicas, a bounded pending queue
+      (``max_pending``, ``block`` policy) and the fleet-wide exact-match
+      result cache; the warm pass replays the workload against hot caches,
+    * ``replicas=1`` — the same router configuration without replication,
+      used to assert that replication never changes an estimate.
+
+    Every run keys each query's random stream by ``(seed, global workload
+    index)``, so all model-computed estimates agree to float round-off; the
+    warm pass is served from the result cache bit-for-bit.  Speedups are
+    wall-clock (the warm pass spends its time in cache lookups, not engine
+    batches, so engine-internal latencies alone would overstate it).  A final
+    mini-run with a deliberately tiny ``max_pending`` under the ``shed``
+    policy demonstrates load shedding and the typed accounting around it.
+    """
+    from ..data import make_sessions, make_users
+    from ..serve import (
+        FleetRouter,
+        ModelRegistry,
+        canonical_query_key,
+        generate_mixed_workload,
+        run_fleet_sequential,
+    )
+
+    scale = scale or active_scale()
+    config = NaruConfig(epochs=scale.serve_repl_epochs, hidden_sizes=(64, 64),
+                        batch_size=256,
+                        progressive_samples=scale.serve_repl_samples, seed=0)
+    registry = ModelRegistry(default_config=config)
+    registry.register_table(make_users(scale.serve_repl_users))
+    registry.register_table(
+        make_sessions(scale.serve_repl_rows, num_users=scale.serve_repl_users),
+        replicas=scale.serve_repl_replicas)
+    registry.fit_all()
+
+    hot = scale.serve_repl_hot_fraction
+    queries = generate_mixed_workload(
+        {name: registry.relation(name) for name in registry.names},
+        scale.serve_repl_queries, min_filters=2, max_filters=5, seed=0,
+        weights={"users": 1.0 - hot, "sessions": hot})
+    hot_queries = sum(query.table == "sessions" for query in queries)
+    # Precondition of the warm-replay exactness claims below: an exact-match
+    # cache may only hit on a true replay, so the workload must be free of
+    # canonically-equal duplicates.  Fail here, loudly, rather than letting a
+    # scale tweak surface as a confusing "drift" assertion in the benchmark.
+    keys = [canonical_query_key(query, route=query.table) for query in queries]
+    if len(set(keys)) != len(keys):
+        raise RuntimeError(
+            "serve_replicated needs a duplicate-free workload (the generated "
+            "one collided); adjust the scale's serve_repl_* knobs")
+
+    def timed(function, *args):
+        """Wall-clock a call (the result cache never touches engine timers)."""
+        start = time.perf_counter()
+        result = function(*args)
+        return result, time.perf_counter() - start
+
+    sequential, sequential_s = timed(
+        lambda: run_fleet_sequential(registry, queries,
+                                     num_samples=scale.serve_repl_samples,
+                                     seed=0))
+    router = FleetRouter(registry, batch_size=scale.serve_repl_batch_size,
+                         num_samples=scale.serve_repl_samples, seed=0,
+                         max_pending=scale.serve_repl_max_pending,
+                         overflow="block", result_cache=True)
+    cold, cold_s = timed(router.run, queries)   # caches empty, models cold
+    warm, warm_s = timed(router.run, queries)   # result cache answers repeats
+
+    # Replication must not change a single estimate: serve the same workload
+    # through an unreplicated router of the same shape and compare.
+    registry.set_replicas("sessions", 1)
+    single = FleetRouter(registry, batch_size=scale.serve_repl_batch_size,
+                         num_samples=scale.serve_repl_samples, seed=0,
+                         max_pending=scale.serve_repl_max_pending,
+                         overflow="block").run(queries)
+    registry.set_replicas("sessions", scale.serve_repl_replicas)
+
+    drift = float(np.max(np.abs(cold.selectivities - sequential.selectivities)))
+    replica_drift = float(np.max(np.abs(cold.selectivities - single.selectivities)))
+    warm_drift = float(np.max(np.abs(warm.selectivities - cold.selectivities)))
+    cold_speedup = sequential_s / cold_s if cold_s > 0 else float("inf")
+    warm_speedup = sequential_s / warm_s if warm_s > 0 else float("inf")
+
+    # Load-shedding demonstration: a group bounded far below the burst size
+    # refuses the overflow loudly and accounts for every refusal.
+    shedder = FleetRouter(registry, batch_size=scale.serve_repl_batch_size,
+                          num_samples=scale.serve_repl_samples, seed=0,
+                          max_pending=2, overflow="shed")
+    shed_report = shedder.run(queries)
+
+    hot_stats = warm.stats.routes.get("sessions", {})
+    rows = [
+        {"mode": "sequential", "wall_s": sequential_s,
+         "queries_per_second": len(queries) / sequential_s},
+        {"mode": "replicated-cold", "wall_s": cold_s,
+         "queries_per_second": len(queries) / cold_s},
+        {"mode": "replicated-warm", "wall_s": warm_s,
+         "queries_per_second": len(queries) / warm_s},
+    ]
+    text = format_series(
+        rows, ["mode", "wall_s", "queries_per_second"],
+        f"Replicated hot-relation serving ({hot_queries}/{len(queries)} "
+        f"queries on sessions x{scale.serve_repl_replicas} replicas, "
+        f"max_pending={scale.serve_repl_max_pending}): "
+        f"{cold_speedup:.2f}x cold / {warm_speedup:.2f}x warm over one "
+        f"sequential engine per relation; replica drift {replica_drift:.1e}, "
+        f"shed demo refused {shed_report.stats.shed}/{len(queries)}")
+    return {
+        "text": text,
+        "speedup": warm_speedup,
+        "cold_speedup": cold_speedup,
+        "max_estimate_drift": drift,
+        "replica_drift": replica_drift,
+        "warm_drift": warm_drift,
+        "replicas": scale.serve_repl_replicas,
+        "hot_queries": hot_queries,
+        "num_queries": len(queries),
+        "shed": warm.stats.shed,
+        "shed_demo": shed_report.stats.shed,
+        "shed_demo_served": shed_report.stats.num_queries,
+        "result_cache": warm.stats.result_cache,
+        "result_cache_hits": warm.result_cache_hits,
+        "sequential_wall_s": sequential_s,
+        "cold_wall_s": cold_s,
+        "warm_wall_s": warm_s,
+        "sequential": sequential.stats.as_dict(),
+        "fleet_cold": cold.stats.as_dict(),
+        "fleet_warm": warm.stats.as_dict(),
+        "hot_route": hot_stats,
+        "estimates": [result.selectivity for result in warm.results],
     }

@@ -37,6 +37,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
     "serve_multi": ("Multi-model fleet throughput: routed registry vs "
                     "N sequential engines",
                     experiments.serve_multi),
+    "serve_replicated": ("Replicated hot-relation serving with admission "
+                         "control and a fleet result cache",
+                         experiments.serve_replicated),
 }
 
 

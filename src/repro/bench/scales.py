@@ -60,6 +60,18 @@ class ExperimentScale:
     serve_multi_samples: int = 800
     serve_multi_batch_size: int = 16
     serve_multi_epochs: int = 6
+    # Replicated hot-relation experiment (serve_replicated): a skewed
+    # workload hammers one relation served by N engine replicas behind an
+    # admission-controlled router with a fleet result cache.
+    serve_repl_rows: int = 3_000
+    serve_repl_users: int = 300
+    serve_repl_queries: int = 72
+    serve_repl_samples: int = 800
+    serve_repl_batch_size: int = 12
+    serve_repl_epochs: int = 6
+    serve_repl_replicas: int = 4
+    serve_repl_hot_fraction: float = 0.75
+    serve_repl_max_pending: int = 48
 
 
 SMOKE = ExperimentScale(
@@ -119,6 +131,15 @@ PAPER = ExperimentScale(
     serve_multi_samples=1_500,
     serve_multi_batch_size=32,
     serve_multi_epochs=12,
+    serve_repl_rows=8_000,
+    serve_repl_users=800,
+    serve_repl_queries=240,
+    serve_repl_samples=1_500,
+    serve_repl_batch_size=24,
+    serve_repl_epochs=12,
+    serve_repl_replicas=4,
+    serve_repl_hot_fraction=0.8,
+    serve_repl_max_pending=96,
 )
 
 

@@ -79,9 +79,41 @@ Unroutable queries (unknown relation, or unqualified with several models and
 no default route) raise :class:`RoutingError` at submission — they never
 silently vanish from the report.  ``python -m repro.serve --tables users
 sessions --join sessions:users:user_id:user_id`` is the command-line form.
+
+Replication and admission control
+---------------------------------
+A hot relation can be *replicated*: ``register_table(..., replicas=N)`` makes
+the router materialise N engine replicas over the relation's one trained
+model, each with its own micro-batch queue and its own slice of the shared
+cache budget.  Queries land on a replica by a deterministic hash of
+``(relation, global workload index)``, and because every query's random
+stream is keyed by ``(seed, global index)`` alone, ``replicas=1`` and
+``replicas=N`` return the same estimates.  Each replica group bounds its
+undispatched queries at ``max_pending``; overflow either forces an early
+dispatch (``overflow="block"``, backpressure) or refuses the query with a
+typed :class:`AdmissionError` (``overflow="shed"``, counted per route in the
+report).  The whole fleet can additionally be fronted by an exact-match
+result cache on canonicalised queries (``result_cache=True``)::
+
+    registry.register_table(make_sessions(8_000), replicas=4)
+    router = FleetRouter(registry, batch_size=16, max_pending=32,
+                         overflow="shed", result_cache=True)
+    report = router.run(hot_workload)
+    print(report.stats.shed, report.stats.result_cache["hit_rate"])
+
+``python -m repro.serve --tables users sessions --replicas 4 --max-pending 32
+--result-cache`` is the command-line form, and the ``serve_replicated``
+benchmark measures the hot-relation throughput claim.
 """
 
-from .cache import CachedConditionalModel, CacheStats, ConditionalProbCache
+from .cache import (
+    CachedConditionalModel,
+    CacheStats,
+    ConditionalProbCache,
+    ResultCache,
+    ResultCacheStats,
+    canonical_query_key,
+)
 from .engine import (
     BatchRecord,
     EngineReport,
@@ -93,9 +125,11 @@ from .engine import (
 )
 from .registry import ModelRegistry
 from .router import (
+    AdmissionError,
     FleetReport,
     FleetRouter,
     FleetStats,
+    ReplicaGroup,
     RoutedResult,
     RoutingError,
     run_fleet_sequential,
@@ -113,12 +147,17 @@ __all__ = [
     "ConditionalProbCache",
     "CachedConditionalModel",
     "CacheStats",
+    "ResultCache",
+    "ResultCacheStats",
+    "canonical_query_key",
     "ModelRegistry",
     "FleetRouter",
     "FleetReport",
     "FleetStats",
+    "ReplicaGroup",
     "RoutedResult",
     "RoutingError",
+    "AdmissionError",
     "run_fleet_sequential",
     "generate_mixed_workload",
     "load_workload",

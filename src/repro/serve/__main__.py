@@ -23,6 +23,11 @@ Multi-model usage (a registry of relations behind one router)::
     python -m repro.serve --tables users sessions \
         --join sessions:users:user_id:user_id:sess_users --join-sample 2000 \
         --save-workload mixed.json
+
+    # Replicate every relation 4x, bound each replica group's pending queue,
+    # and front the fleet with an exact-match result cache.
+    python -m repro.serve --tables users sessions --replicas 4 \
+        --max-pending 32 --overflow shed --result-cache --num-queries 96
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from ..data import (
 )
 from ..query import WorkloadGenerator, true_selectivities
 from ..query.metrics import q_error
+from .cache import canonical_query_key
 from .engine import EstimationEngine, run_sequential
 from .registry import ModelRegistry
 from .router import FleetRouter, RoutingError, run_fleet_sequential
@@ -113,7 +119,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the conditional-probability caches")
     parser.add_argument("--cache-entries", type=int, default=65536,
-                        help="cache budget (shared across models in multi-model mode)")
+                        help="cache budget (shared across models, replicas and "
+                             "the result cache in multi-model mode)")
+    parser.add_argument("--replicas", type=int, default=1, metavar="N",
+                        help="engine replicas per registered relation "
+                             "(multi-model mode; estimates are identical for "
+                             "any N)")
+    parser.add_argument("--max-pending", type=int, default=0, metavar="N",
+                        help="bound each replica group's pending queue at N "
+                             "queries (0 = unbounded; multi-model mode)")
+    parser.add_argument("--overflow", choices=("block", "shed"), default="block",
+                        help="what a full replica group does with a new query: "
+                             "dispatch early (block) or refuse it (shed)")
+    parser.add_argument("--result-cache", action="store_true",
+                        help="front the fleet with an exact-match result cache "
+                             "on canonicalised queries (multi-model mode)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--compare-sequential", action="store_true",
                         help="also run the unbatched baseline and print the speedup")
@@ -210,15 +230,16 @@ def _serve_multi(arguments) -> int:
     registry = ModelRegistry(default_config=NaruConfig(
         epochs=arguments.epochs, hidden_sizes=(64, 64), batch_size=256,
         progressive_samples=arguments.samples, seed=arguments.seed))
+    replica_note = f" x{arguments.replicas}" if arguments.replicas > 1 else ""
     for name in dict.fromkeys(arguments.tables):  # de-dup, keep order
         table = _DATASETS[name](arguments.rows)
-        registry.register_table(table)
-        print(f"Registered base relation: {table}")
+        registry.register_table(table, replicas=arguments.replicas)
+        print(f"Registered base relation: {table}{replica_note}")
     for text in arguments.join:
         spec = parse_join_spec(text, arguments.join_sample, arguments.seed)
-        name = registry.register_join(spec)
+        name = registry.register_join(spec, replicas=arguments.replicas)
         print(f"Registered join relation: {registry.relation(name)} "
-              f"({spec.how} of {spec.left} ⨝ {spec.right})")
+              f"({spec.how} of {spec.left} ⨝ {spec.right}){replica_note}")
 
     if arguments.workload:
         queries = load_workload(arguments.workload)
@@ -252,7 +273,21 @@ def _serve_multi(arguments) -> int:
                          num_samples=arguments.samples,
                          use_cache=not arguments.no_cache,
                          cache_entries=arguments.cache_entries,
-                         seed=arguments.seed)
+                         seed=arguments.seed,
+                         max_pending=arguments.max_pending or None,
+                         overflow=arguments.overflow,
+                         result_cache=arguments.result_cache)
+    if arguments.result_cache:
+        try:
+            keys = [canonical_query_key(query, route=router.resolve_route(query))
+                    for query in queries]
+        except RoutingError:
+            keys = []  # the run below reports the unroutable query properly
+        repeats = len(keys) - len(set(keys))
+        if repeats:
+            print(f"note: {repeats} repeated queries will be answered from "
+                  "the result cache (each repeat serves its first dispatched "
+                  "occurrence's estimate instead of re-sampling)")
     try:
         report = router.run(queries)
     except RoutingError as error:
@@ -261,12 +296,21 @@ def _serve_multi(arguments) -> int:
 
     print(f"\nServed {stats.num_queries} queries across {stats.num_models} "
           f"models ({stats.queries_per_second:.1f} queries/s overall, "
-          f"cache budget {stats.cache_entries_per_model} entries/model)")
+          f"cache budget {stats.cache_entries_per_model} entries/cache)")
+    if stats.shed:
+        print(f"  shed {stats.shed} queries at the admission limit "
+              f"(max_pending={arguments.max_pending}, policy=shed)")
+    if stats.result_cache is not None:
+        print(f"  result cache: {stats.result_cache['hits']} hits / "
+              f"{stats.result_cache['misses']} misses "
+              f"({stats.result_cache['hit_rate']:.1%} hit rate)")
     for route, route_stats in stats.routes.items():
         cache = route_stats["cache"]
         hit_rate = f", cache hit rate {cache['hit_rate']:.1%}" if cache else ""
+        replicas = (f" on {route_stats['num_replicas']} replicas"
+                    if route_stats["num_replicas"] > 1 else "")
         print(f"  {route:<24} {route_stats['num_queries']:>4} queries in "
-              f"{route_stats['num_batches']} batches, "
+              f"{route_stats['num_batches']} batches{replicas}, "
               f"{route_stats['queries_per_second']:8.1f} queries/s{hit_rate}")
 
     document = {"fleet": stats.as_dict(),
@@ -274,19 +318,37 @@ def _serve_multi(arguments) -> int:
                 "routes": [result.route for result in report.results]}
 
     if arguments.compare_sequential:
-        baseline = run_fleet_sequential(registry, queries,
-                                        num_samples=arguments.samples,
-                                        seed=arguments.seed)
-        speedup = (baseline.stats.elapsed_s / stats.elapsed_s
-                   if stats.elapsed_s > 0 else float("inf"))
-        drift = float(np.max(np.abs(report.selectivities - baseline.selectivities))) \
-            if report.results else 0.0
-        print(f"\nSequential fleet baseline: "
-              f"{baseline.stats.queries_per_second:.1f} queries/s -> "
-              f"routed speedup {speedup:.1f}x (max estimate drift {drift:.2e})")
-        document["sequential"] = baseline.stats.as_dict()
-        document["speedup"] = speedup
-        document["max_estimate_drift"] = drift
+        if stats.shed:
+            print("\nSkipping --compare-sequential: the shed policy dropped "
+                  f"{stats.shed} queries, so the workloads no longer match")
+        else:
+            baseline = run_fleet_sequential(registry, queries,
+                                            num_samples=arguments.samples,
+                                            seed=arguments.seed)
+            speedup = (baseline.stats.elapsed_s / stats.elapsed_s
+                       if stats.elapsed_s > 0 else float("inf"))
+            # Cache-served repeats intentionally reuse their first
+            # occurrence's estimate while the baseline re-samples every
+            # repeat under its own stream — exclude them so the reported
+            # drift measures batching/routing determinism, not cache
+            # semantics.
+            compared = [(result.selectivity,
+                         baseline.results[result.index].selectivity)
+                        for result in report.results
+                        if not result.from_result_cache]
+            drift = max((abs(routed - sequential)
+                         for routed, sequential in compared), default=0.0)
+            excluded = len(report.results) - len(compared)
+            note = (f"; {excluded} cache-served repeats excluded"
+                    if excluded else "")
+            print(f"\nSequential fleet baseline: "
+                  f"{baseline.stats.queries_per_second:.1f} queries/s -> "
+                  f"routed speedup {speedup:.1f}x "
+                  f"(max estimate drift {drift:.2e}{note})")
+            document["sequential"] = baseline.stats.as_dict()
+            document["speedup"] = speedup
+            document["max_estimate_drift"] = drift
+            document["drift_excluded_cache_hits"] = excluded
 
     if arguments.q_errors:
         errors = []
@@ -310,6 +372,23 @@ def main(argv: list[str] | None = None) -> int:
     arguments = build_parser().parse_args(argv)
     if arguments.join and not arguments.tables:
         raise SystemExit("--join requires --tables (multi-model mode)")
+    if not arguments.tables:
+        fleet_flags = [flag for flag, used in (
+            ("--replicas", arguments.replicas != 1),
+            ("--max-pending", arguments.max_pending != 0),
+            ("--overflow", arguments.overflow != "block"),
+            ("--result-cache", arguments.result_cache),
+        ) if used]
+        if fleet_flags:
+            raise SystemExit(f"{', '.join(fleet_flags)} require(s) --tables "
+                             "(multi-model mode)")
+    if arguments.replicas < 1:
+        raise SystemExit("--replicas must be at least 1")
+    if arguments.max_pending < 0:
+        raise SystemExit("--max-pending must be non-negative (0 = unbounded)")
+    if arguments.overflow == "shed" and arguments.max_pending == 0:
+        raise SystemExit("--overflow shed requires --max-pending: with an "
+                         "unbounded queue nothing can ever be shed")
     if arguments.tables:
         return _serve_multi(arguments)
     return _serve_single(arguments)

@@ -1,18 +1,29 @@
-"""LRU caching of autoregressive conditionals for the serving layer.
+"""LRU caching for the serving layer: conditionals and whole results.
 
-Progressive sampling asks the model the same question over and over: the
-conditional ``P(X_i | x_<i)`` depends only on the *prefix* of the sample path,
-and prefixes repeat heavily — every path shares the empty prefix at the first
-column, early columns have tiny domains, and concurrent queries over the same
-table walk overlapping regions.  :class:`CachedConditionalModel` exploits this
-by memoising per-prefix distributions in an LRU map keyed on
-``(column, prefix_codes_bytes)``, so repeated prefixes inside a micro-batch
-and across micro-batches hit memory instead of re-running the network.
+Two cache families live here, layered at different depths of the serve stack:
 
-The wrapper implements the same protocol as
-:class:`repro.core.made.AutoregressiveModel` (``conditional_probs``,
-``log_prob``, ``domain_sizes``, ``order``), so it can be dropped in front of
-any model — neural or oracle — without the sampler noticing.
+* **Conditional-probability caching** — progressive sampling asks the model
+  the same question over and over: the conditional ``P(X_i | x_<i)`` depends
+  only on the *prefix* of the sample path, and prefixes repeat heavily —
+  every path shares the empty prefix at the first column, early columns have
+  tiny domains, and concurrent queries over the same table walk overlapping
+  regions.  :class:`CachedConditionalModel` exploits this by memoising
+  per-prefix distributions in an LRU map keyed on
+  ``(column, prefix_codes_bytes)``, so repeated prefixes inside a micro-batch
+  and across micro-batches hit memory instead of re-running the network.
+
+  The wrapper implements the same protocol as
+  :class:`repro.core.made.AutoregressiveModel` (``conditional_probs``,
+  ``log_prob``, ``domain_sizes``, ``order``), so it can be dropped in front
+  of any model — neural or oracle — without the sampler noticing.
+
+* **Result caching** — above all the models, the fleet router can memoise
+  finished *selectivities* in a :class:`ResultCache` keyed on the
+  canonicalised query (:func:`canonical_query_key`): an exact repeat of an
+  already answered query — a replayed workload, a dashboard refreshing the
+  same filter — costs a dictionary lookup instead of a sampler run.  The key
+  is canonical, not textual: predicate order, ``IN``-list order and duplicate
+  ``IN`` values do not produce distinct entries.
 """
 
 from __future__ import annotations
@@ -22,7 +33,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CacheStats", "ConditionalProbCache", "CachedConditionalModel"]
+from ..query.predicates import Operator, Query
+
+__all__ = ["CacheStats", "ConditionalProbCache", "CachedConditionalModel",
+           "ResultCacheStats", "ResultCache", "canonical_query_key"]
 
 
 @dataclass
@@ -255,3 +269,129 @@ class CachedConditionalModel:
             self.stats.rows_evaluated += len(missing)
         self.stats.rows_served_from_cache += num_rows - len(missing)
         return table[inverse]
+
+
+# --------------------------------------------------------------------------- #
+# Fleet-wide result caching (exact-match on canonicalised queries)
+# --------------------------------------------------------------------------- #
+def _canonical_scalar(value: object) -> object:
+    """One JSON-ish scalar: numpy scalars unwrap so ``3 == np.int64(3)``."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _canonical_value(operator: Operator, value: object) -> object:
+    """Hashable canonical form of one predicate literal.
+
+    ``IN`` lists deduplicate and sort (membership is a set test, so order and
+    repeats must not produce distinct cache entries); ``BETWEEN`` pairs become
+    plain tuples; everything else unwraps numpy scalars.
+    """
+    if operator is Operator.IN:
+        items = {_canonical_scalar(item) for item in value}
+        return tuple(sorted(items, key=lambda item: (str(type(item)), repr(item))))
+    if operator is Operator.BETWEEN:
+        low, high = value
+        return (_canonical_scalar(low), _canonical_scalar(high))
+    return _canonical_scalar(value)
+
+
+def canonical_query_key(query: Query, route: str | None = None) -> tuple:
+    """Stable exact-match cache key of one query.
+
+    Two queries map to the same key iff they filter the same relation
+    (``route`` wins over the query's own qualifier — the router passes the
+    *resolved* route so default-routed and explicitly qualified forms of the
+    same query share an entry) with the same conjunction of predicates,
+    regardless of predicate order or ``IN``-list order.
+    """
+    predicates = tuple(sorted(
+        ((predicate.column, predicate.operator.value,
+          _canonical_value(predicate.operator, predicate.value))
+         for predicate in query),
+        # Type-aware ordering: two predicates on the same column and
+        # operator may carry incomparable literal types (1 vs "x"), which
+        # raw tuple comparison would crash on.
+        key=lambda spec: (spec[0], spec[1], str(type(spec[2])), repr(spec[2]))))
+    return (route if route is not None else query.table, predicates)
+
+
+@dataclass
+class ResultCacheStats:
+    """Hit/miss accounting of the fleet-wide result cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from memory (0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Bounded LRU map from a canonical query key to a finished selectivity.
+
+    Layered *above* the per-model conditional-probability caches: a hit skips
+    routing a query into any micro-batch at all.  Entries are selectivities
+    (not cardinalities), so a cached answer stays valid under
+    ``set_row_count``-style row-count updates of the serving relation.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached results; the least recently used entry is
+        evicted once the bound is exceeded.  ``0`` disables storage (every
+        lookup misses and nothing is kept).
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = max_entries
+        self.stats = ResultCacheStats()
+        self._entries: OrderedDict[tuple, float] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> float | None:
+        """Look up one selectivity, updating LRU order and counters."""
+        try:
+            selectivity = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return selectivity
+
+    def put(self, key: tuple, selectivity: float) -> None:
+        """Insert one result, evicting the LRU entry when full."""
+        if self.max_entries == 0:
+            return
+        self._entries[key] = float(selectivity)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

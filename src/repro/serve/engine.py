@@ -135,16 +135,30 @@ class EstimationEngine:
         cache thrashes (every batch evicts the entries the next one needs).
     seed:
         Base seed of the per-query random streams, see :func:`query_rng`.
+    result_sink:
+        Optional callable invoked with each :class:`EstimateResult` the
+        moment its micro-batch dispatches.  The fleet router uses this to
+        feed its exact-match result cache as answers are computed, so a
+        repeat of an already dispatched query can hit the cache inside the
+        same workload scope.
+    cache:
+        Optional pre-built :class:`ConditionalProbCache` to use instead of a
+        private one (``cache_entries`` is then ignored).  Replica engines
+        over the same model share one group-wide cache this way — their
+        conditionals are identical, so pooling beats fragmenting the budget.
     """
 
     def __init__(self, estimator, *, batch_size: int = 32,
                  num_samples: int | None = None, use_cache: bool = True,
-                 cache_entries: int = 262144, seed: int = 0) -> None:
+                 cache_entries: int = 262144, seed: int = 0,
+                 result_sink=None,
+                 cache: ConditionalProbCache | None = None) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         self.estimator = estimator
         self.batch_size = batch_size
         self.seed = seed
+        self._result_sink = result_sink
         if num_samples is None:
             config = getattr(estimator, "config", None)
             num_samples = getattr(config, "progressive_samples", None) or 1000
@@ -158,7 +172,8 @@ class EstimationEngine:
         self._sampler: ProgressiveSampler | None = None
         if self._batched:
             if use_cache:
-                self._cache = ConditionalProbCache(cache_entries)
+                self._cache = (cache if cache is not None
+                               else ConditionalProbCache(cache_entries))
                 model = CachedConditionalModel(model, cache=self._cache)
             self._sampler = ProgressiveSampler(model, seed=seed)
 
@@ -172,6 +187,15 @@ class EstimationEngine:
     def cache_stats(self) -> dict | None:
         """Hit/miss counters of the conditional cache (``None`` when off)."""
         return self._cache.stats.as_dict() if self._cache is not None else None
+
+    @property
+    def pending(self) -> int:
+        """Number of submitted queries not yet dispatched in a micro-batch.
+
+        The admission controller of a :class:`repro.serve.router.ReplicaGroup`
+        sums this over its replicas to enforce ``max_pending``.
+        """
+        return len(self._pending)
 
     def submit(self, query: Query, index: int | None = None) -> None:
         """Enqueue one query; dispatches when a micro-batch fills up.
@@ -268,9 +292,12 @@ class EstimationEngine:
         num_rows = self.estimator.num_rows
         for (index, query), selectivity in zip(batch, selectivities):
             selectivity = float(min(max(selectivity, 0.0), 1.0))
-            self._results.append(EstimateResult(
+            result = EstimateResult(
                 index=index, query=query, selectivity=selectivity,
-                cardinality=selectivity * num_rows, batch_index=batch_index))
+                cardinality=selectivity * num_rows, batch_index=batch_index)
+            self._results.append(result)
+            if self._result_sink is not None:
+                self._result_sink(result)
         self._batches.append(BatchRecord(batch_index=batch_index,
                                          num_queries=len(batch),
                                          latency_ms=latency_ms))

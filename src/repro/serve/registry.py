@@ -5,7 +5,11 @@ It holds *named relations* — base tables and join results alike, following the
 paper's §4.1 observation that a joined relation is served exactly like a base
 table — and builds one estimator per relation on demand:
 
-* :meth:`ModelRegistry.register_table` registers a base :class:`Table`,
+* :meth:`ModelRegistry.register_table` registers a base :class:`Table`;
+  ``replicas=N`` marks the relation for replicated serving — the router
+  materialises N engine replicas over the relation's one trained model, so a
+  hot table stops bottlenecking the fleet (see
+  :class:`repro.serve.router.ReplicaGroup`),
 * :meth:`ModelRegistry.register_join` registers a
   :class:`repro.data.JoinSpec`, resolves its inputs against the already
   registered relations and materialises (or samples) the join result,
@@ -59,13 +63,15 @@ class ModelRegistry:
         self._estimators: dict[str, CardinalityEstimator] = {}
         self._fitted: set[str] = set()
         self._joins: dict[str, JoinSpec] = {}
+        self._replicas: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
     # ------------------------------------------------------------------ #
     def register_table(self, table: Table, *, name: str | None = None,
                        config: NaruConfig | None = None,
-                       estimator: CardinalityEstimator | None = None) -> str:
+                       estimator: CardinalityEstimator | None = None,
+                       replicas: int = 1) -> str:
         """Register a base table as a named relation and return its name.
 
         Parameters
@@ -84,10 +90,21 @@ class ModelRegistry:
             it builds itself — it cannot know what arguments an arbitrary
             estimator's ``fit`` needs (MSCN wants a training workload, the
             KDE variants want feedback, …).
+        replicas:
+            Number of serving-engine replicas the router materialises for
+            this relation (default 1).  Replicas share the relation's one
+            trained model — the estimate of a query depends only on
+            ``(seed, global workload index)``, never on which replica served
+            it — but each replica keeps its own micro-batch queue and its own
+            slice of the fleet cache budget, so a hot relation stops
+            head-of-line-blocking the fleet.  Tune later with
+            :meth:`set_replicas`.
         """
         name = name or table.name
         if name in self._relations:
             raise ValueError(f"relation {name!r} is already registered")
+        if replicas < 1:
+            raise ValueError(f"replicas must be at least 1, got {replicas}")
         if estimator is not None:
             if estimator.table is not table:
                 raise ValueError(
@@ -98,6 +115,7 @@ class ModelRegistry:
                     f"estimator for {name!r} is not fitted; train it before "
                     "registering (the registry only fits models it builds)")
         self._relations[name] = table
+        self._replicas[name] = replicas
         if estimator is not None:
             self._estimators[name] = estimator
             self._fitted.add(name)
@@ -106,22 +124,36 @@ class ModelRegistry:
         return name
 
     def register_join(self, spec: JoinSpec, *,
-                      config: NaruConfig | None = None) -> str:
+                      config: NaruConfig | None = None,
+                      replicas: int = 1) -> str:
         """Build a join relation from registered inputs and register it.
 
         The spec's ``left``/``right`` names are resolved against the
         relations registered so far; the resulting table (materialised or
         sampled, per ``spec.how``) becomes a first-class named relation that
-        routes and budgets exactly like a base table.  Returns the relation
-        name.
+        routes, budgets and replicates exactly like a base table.  Returns
+        the relation name.
         """
         name = spec.relation_name
         if name in self._relations:
             raise ValueError(f"relation {name!r} is already registered")
         table = spec.build(self._relations)
-        self.register_table(table, name=name, config=config)
+        self.register_table(table, name=name, config=config, replicas=replicas)
         self._joins[name] = spec
         return name
+
+    def set_replicas(self, name: str, replicas: int) -> None:
+        """Change the replica count of an already registered relation.
+
+        Routers built *after* the change pick up the new count; routers
+        already serving keep the replica groups they materialised.  The
+        relation's trained model is untouched — scaling a hot relation out
+        (or back in) never retrains anything.
+        """
+        self.relation(name)  # raise uniformly for unknown names
+        if replicas < 1:
+            raise ValueError(f"replicas must be at least 1, got {replicas}")
+        self._replicas[name] = replicas
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -153,6 +185,29 @@ class ModelRegistry:
         """The :class:`JoinSpec` a relation was built from (``None`` for base tables)."""
         self.relation(name)  # raise uniformly for unknown names
         return self._joins.get(name)
+
+    def replicas(self, name: str) -> int:
+        """Number of serving-engine replicas registered for one relation."""
+        self.relation(name)
+        return self._replicas.get(name, 1)
+
+    def serving_rows(self, name: str) -> int:
+        """The row count estimates for one relation scale by.
+
+        The built estimator's (possibly refreshed via ``set_row_count``)
+        count when a model exists, falling back to the raw relation's —
+        so cardinalities derived from cached selectivities agree with the
+        model-served path even after data-shift updates.
+        """
+        estimator = self._estimators.get(name)
+        if estimator is not None:
+            return estimator.num_rows
+        return self.relation(name).num_rows
+
+    @property
+    def total_replicas(self) -> int:
+        """Fleet-wide engine count: the sum of every relation's replicas."""
+        return sum(self._replicas.get(name, 1) for name in self._relations)
 
     def is_fitted(self, name: str) -> bool:
         """Whether the relation's estimator has been built and trained."""
@@ -211,6 +266,7 @@ class ModelRegistry:
                 "num_columns": table.num_columns,
                 "fitted": name in self._fitted,
                 "is_join": name in self._joins,
+                "replicas": self._replicas.get(name, 1),
             }
         return report
 

@@ -1,42 +1,80 @@
-"""Routing table-qualified queries across a fleet of per-model engines.
+"""Routing table-qualified queries across a replicated fleet of engines.
 
 :class:`FleetRouter` is the serving half of multi-model estimation.  It fronts
-a :class:`repro.serve.registry.ModelRegistry` with one thin
-:class:`~repro.serve.engine.EstimationEngine` per registered relation and
+a :class:`repro.serve.registry.ModelRegistry` with one
+:class:`ReplicaGroup` per registered relation — N independently serving
+:class:`~repro.serve.engine.EstimationEngine` replicas over the relation's one
+trained model — and
 
-* **routes** every submitted query to the engine named by its ``table``
+* **routes** every submitted query to the group named by its ``table``
   qualifier (falling back to a configurable default route; unroutable
   queries raise :class:`RoutingError` immediately — nothing is dropped),
-* keeps **per-model micro-batches**: each engine fills and dispatches its own
-  batches, so a burst against one relation cannot delay another relation's
-  queries past its own batch boundary,
-* splits one shared ``cache_entries`` budget evenly into **per-model LRU
-  caches** (conditional-probability distributions are only reusable within a
-  model, so the caches are private but the memory budget is fleet-wide), and
-* **merges** the per-model reports into a single :class:`FleetReport` with
-  per-route throughput and cache statistics.
+  then to a replica by a deterministic hash of ``(relation, global workload
+  index)``,
+* keeps **per-replica micro-batches**: each engine fills and dispatches its
+  own batches, so a burst against one relation cannot delay another
+  relation's queries past its own batch boundary, and a hot relation's burst
+  spreads across its replicas,
+* enforces **admission control**: each replica group bounds its undispatched
+  queries at ``max_pending``; an overflowing submission either forces the
+  fullest replica to dispatch early (``overflow="block"`` — backpressure,
+  estimates unchanged because batching never changes the numbers) or is
+  refused with a typed :class:`AdmissionError` (``overflow="shed"`` — load
+  shedding, counted per group and surfaced in the report),
+* optionally fronts the whole fleet with an exact-match **result cache**
+  (:class:`repro.serve.cache.ResultCache`, keyed on the canonicalised query):
+  a repeat of an already answered query skips routing entirely, and
+* splits one shared ``cache_entries`` budget evenly into per-replica LRU
+  conditional caches (plus one slice for the result cache when enabled), so
+  the memory budget is fleet-wide no matter how many replicas serve,
+* **merges** the per-replica reports into a single :class:`FleetReport` with
+  per-route and per-replica throughput, shed counts and cache statistics.
 
 Determinism: every query's random stream is keyed by ``(seed, workload
 index)`` where the index is the *global* submission order, not the position
-inside the routed engine.  Estimates are therefore independent of both
-micro-batch boundaries *and* routing order — running the same mixed workload
-with ``batch_size=1`` or ``batch_size=64`` returns the same numbers per model
-(up to float round-off), and so does :func:`run_fleet_sequential`, the
-N-independent-sequential-engines baseline of the ``serve_multi`` benchmark.
+inside the routed engine.  Estimates are therefore independent of micro-batch
+boundaries, routing order *and* the replica count — running the same mixed
+workload with ``batch_size=1`` or ``batch_size=64``, with ``replicas=1`` or
+``replicas=4``, returns the same numbers per model (up to float round-off),
+and so does :func:`run_fleet_sequential`, the N-independent-sequential-engines
+baseline of the ``serve_multi`` and ``serve_replicated`` benchmarks.  The
+result cache preserves this contract on workloads of distinct queries (an
+exact-match cache can only hit on a repeat); a repeated query is served the
+stored estimate of its earliest dispatched occurrence instead of re-sampling
+under its own stream — results enter the cache the moment their micro-batch
+dispatches, so repeats hit both across workload scopes and inside one.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..query.predicates import Query
+from .cache import ConditionalProbCache, ResultCache, canonical_query_key
 from .engine import EngineReport, EstimationEngine, run_sequential
 from .registry import ModelRegistry
 
-__all__ = ["RoutingError", "RoutedResult", "FleetStats", "FleetReport",
-           "FleetRouter", "run_fleet_sequential"]
+__all__ = ["RoutingError", "AdmissionError", "RoutedResult", "FleetStats",
+           "FleetReport", "ReplicaGroup", "FleetRouter",
+           "run_fleet_sequential"]
+
+#: Overflow policies of the per-group admission controller.
+_OVERFLOW_POLICIES = ("block", "shed")
+
+
+def _validate_admission(max_pending: int | None, overflow: str) -> None:
+    """One source of truth for the admission-control knob invariants."""
+    if max_pending is not None and max_pending < 1:
+        raise ValueError("max_pending must be at least 1 (or None)")
+    if overflow not in _OVERFLOW_POLICIES:
+        raise ValueError(f"overflow must be one of {_OVERFLOW_POLICIES}, "
+                         f"got {overflow!r}")
+    if overflow == "shed" and max_pending is None:
+        raise ValueError("overflow='shed' requires max_pending: with an "
+                         "unbounded queue nothing can ever be shed")
 
 
 class RoutingError(LookupError):
@@ -47,9 +85,33 @@ class RoutingError(LookupError):
     """
 
 
+class AdmissionError(RuntimeError):
+    """A replica group refused a query because its pending queue is full.
+
+    Raised at submission time under the ``shed`` overflow policy, *before*
+    the query consumes a global workload index — a shed query leaves no trace
+    in the random streams of the queries around it.  Carries the route, the
+    configured bound and the refused query so callers can retry, divert or
+    downgrade.
+    """
+
+    def __init__(self, route: str, max_pending: int, query: Query) -> None:
+        super().__init__(
+            f"replica group {route!r} is at its admission limit "
+            f"({max_pending} pending queries); query {query!r} was shed")
+        self.route = route
+        self.max_pending = max_pending
+        self.query = query
+
+
 @dataclass(frozen=True)
 class RoutedResult:
-    """Per-query output of the fleet: an estimate plus the route that served it."""
+    """Per-query output of the fleet: an estimate plus the route that served it.
+
+    ``replica`` is the index of the engine replica inside the route's group;
+    ``-1`` (with ``batch_index=-1``) marks a result served straight from the
+    fleet-wide result cache without touching any engine.
+    """
 
     index: int
     route: str
@@ -57,23 +119,50 @@ class RoutedResult:
     selectivity: float
     cardinality: float
     batch_index: int
+    replica: int = 0
+
+    @property
+    def from_result_cache(self) -> bool:
+        """Whether this answer came from the result cache, not a model."""
+        return self.replica < 0
 
 
 @dataclass
 class FleetStats:
-    """Fleet-wide throughput statistics with a per-route breakdown."""
+    """Fleet-wide throughput statistics with per-route/per-replica breakdown."""
 
     num_queries: int = 0
     num_models: int = 0
     elapsed_s: float = 0.0
     cache_entries_total: int = 0
     cache_entries_per_model: int = 0
-    #: Route name -> that engine's ``EngineStats.as_dict()`` (includes the
-    #: route's query count, batch count, QPS and cache hit/miss counters).
+    #: Queries refused under the ``shed`` overflow policy, fleet-wide.
+    shed: int = 0
+    #: ``ResultCacheStats.as_dict()`` of the fleet result cache (``None`` off).
+    #: Like the conditional-cache counters, these are lifetime-of-the-cache
+    #: numbers — caches survive workload scopes, so their hit/miss tallies
+    #: accumulate across ``run()`` calls.  Per-scope cache-served counts live
+    #: in :attr:`FleetReport.result_cache_hits` and the per-route
+    #: ``result_cache_hits`` entries.
+    result_cache: dict | None = None
+    #: Route name -> aggregated group stats: the union of the engine-stats
+    #: keys (query/batch counts, QPS, the group cache's counters) plus
+    #: ``num_replicas``, ``shed``, ``result_cache_hits`` and a ``replicas``
+    #: list holding each replica engine's own ``EngineStats.as_dict()``.
+    #: Cache counters live at route level only — replicas share one group
+    #: cache, so the per-replica dicts carry ``cache=None``.
     routes: dict[str, dict] = field(default_factory=dict)
 
     @property
     def queries_per_second(self) -> float:
+        """Model-dispatch throughput: queries over summed engine batch time.
+
+        ``elapsed_s`` covers engine dispatches only — result-cache hits are
+        effectively free, so a scope served entirely from the result cache
+        reports 0.0 here.  For end-to-end throughput of cache-heavy runs,
+        wall-clock the serving call (the ``serve_replicated`` benchmark
+        does exactly that).
+        """
         return self.num_queries / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     def as_dict(self) -> dict:
@@ -84,18 +173,20 @@ class FleetStats:
             "queries_per_second": self.queries_per_second,
             "cache_entries_total": self.cache_entries_total,
             "cache_entries_per_model": self.cache_entries_per_model,
+            "shed": self.shed,
+            "result_cache": self.result_cache,
             "routes": self.routes,
         }
 
 
 @dataclass
 class FleetReport:
-    """Merged per-model reports of one served mixed workload."""
+    """Merged per-replica reports of one served mixed workload."""
 
-    #: All results in global submission order.
+    #: All results in global submission order (model-served and cache-served).
     results: list[RoutedResult] = field(default_factory=list)
-    #: Route name -> the full per-model :class:`EngineReport`.
-    routes: dict[str, EngineReport] = field(default_factory=dict)
+    #: Route name -> the full per-replica :class:`EngineReport` list.
+    routes: dict[str, list[EngineReport]] = field(default_factory=dict)
     stats: FleetStats = field(default_factory=FleetStats)
 
     @property
@@ -110,66 +201,235 @@ class FleetReport:
         """The relation that served the query at one global index."""
         return self.results[index].route
 
+    @property
+    def result_cache_hits(self) -> int:
+        """Queries in this report answered by the fleet result cache."""
+        return sum(result.from_result_cache for result in self.results)
 
-def _merge_reports(routes: dict[str, EngineReport], *, num_models: int,
-                   cache_entries_total: int,
-                   cache_entries_per_model: int) -> FleetReport:
-    """Fold per-model reports into one fleet report in global index order."""
+
+def _route_cache_dict(dicts: list[dict | None]) -> dict | None:
+    """The route-level conditional-cache counters of one replica group.
+
+    Replicas share one group-wide cache, so every replica's stats dict holds
+    the same counters — the first non-``None`` entry *is* the group's.
+    """
+    for entry in dicts:
+        if entry is not None:
+            return entry
+    return None
+
+
+def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
+                   num_models: int, cache_entries_total: int,
+                   cache_entries_per_model: int,
+                   cached_results: list[RoutedResult] | None = None,
+                   shed_by_route: dict[str, int] | None = None,
+                   result_cache_stats: dict | None = None) -> FleetReport:
+    """Fold per-replica reports into one fleet report in global index order."""
+    cached_results = cached_results or []
+    shed_by_route = shed_by_route or {}
     merged = [
         RoutedResult(index=result.index, route=route, query=result.query,
                      selectivity=result.selectivity,
                      cardinality=result.cardinality,
-                     batch_index=result.batch_index)
-        for route, report in routes.items()
+                     batch_index=result.batch_index, replica=replica)
+        for route, reports in route_reports.items()
+        for replica, report in enumerate(reports)
         for result in report.results
     ]
+    merged.extend(cached_results)
     merged.sort(key=lambda result: result.index)
+    cached_by_route: dict[str, int] = {}
+    for result in cached_results:
+        cached_by_route[result.route] = cached_by_route.get(result.route, 0) + 1
+    routes_stats: dict[str, dict] = {}
+    for route, reports in route_reports.items():
+        replica_stats = [report.stats for report in reports]
+        elapsed_s = sum(stats.elapsed_s for stats in replica_stats)
+        num_queries = sum(stats.num_queries for stats in replica_stats)
+        routes_stats[route] = {
+            "num_queries": num_queries,
+            "num_batches": sum(stats.num_batches for stats in replica_stats),
+            "elapsed_s": elapsed_s,
+            "queries_per_second": num_queries / elapsed_s if elapsed_s > 0 else 0.0,
+            "num_samples": replica_stats[0].num_samples,
+            "batch_size": replica_stats[0].batch_size,
+            "cache": _route_cache_dict([stats.cache for stats in replica_stats]),
+            "num_replicas": len(reports),
+            # Replicas share one group-wide conditional cache, so cache
+            # counters only exist at route level: nulling the per-replica
+            # copies stops consumers from summing the same counters N times.
+            "replicas": [{**stats.as_dict(), "cache": None}
+                         for stats in replica_stats],
+            "shed": shed_by_route.get(route, 0),
+            "result_cache_hits": cached_by_route.get(route, 0),
+        }
     stats = FleetStats(
         num_queries=len(merged),
         num_models=num_models,
-        elapsed_s=sum(report.stats.elapsed_s for report in routes.values()),
+        elapsed_s=sum(entry["elapsed_s"] for entry in routes_stats.values()),
         cache_entries_total=cache_entries_total,
         cache_entries_per_model=cache_entries_per_model,
-        routes={route: report.stats.as_dict()
-                for route, report in routes.items()},
+        shed=sum(shed_by_route.values()),
+        result_cache=result_cache_stats,
+        routes=routes_stats,
     )
-    return FleetReport(results=merged, routes=routes, stats=stats)
+    return FleetReport(results=merged, routes=route_reports, stats=stats)
+
+
+class ReplicaGroup:
+    """N engine replicas serving one relation, behind one admission gate.
+
+    Every replica fronts the *same* trained estimator — replication buys
+    independent micro-batch queues and bounded per-replica cache slices, not
+    retrained models — and a query lands on the replica named by a
+    deterministic hash of ``(relation, global workload index)``.  Because the
+    per-query random streams are keyed by ``(seed, global index)`` alone, the
+    replica assignment can never change an estimate: ``replicas=1`` and
+    ``replicas=N`` serve bit-compatible numbers (up to float round-off of the
+    batched sampler).
+
+    Parameters
+    ----------
+    route:
+        Relation name, also the salt of the replica hash.
+    engines:
+        The replica engines (at least one), typically built by
+        :class:`FleetRouter` with equal seeds and equal cache slices.
+    max_pending:
+        Maximum undispatched queries across the whole group (``None`` =
+        unbounded).  Bounds the group's queue memory independently of
+        ``batch_size``.
+    overflow:
+        What an overflowing submission does: ``"block"`` forces the fullest
+        replica to dispatch its micro-batch early (backpressure — nothing is
+        refused and estimates are unchanged), ``"shed"`` refuses the query
+        with :class:`AdmissionError` and counts it in :attr:`shed`.
+    """
+
+    def __init__(self, route: str, engines: list[EstimationEngine], *,
+                 max_pending: int | None = None,
+                 overflow: str = "block",
+                 cache: ConditionalProbCache | None = None) -> None:
+        if not engines:
+            raise ValueError("a replica group needs at least one engine")
+        _validate_admission(max_pending, overflow)
+        self.route = route
+        self.engines = engines
+        self.max_pending = max_pending
+        self.overflow = overflow
+        #: The group's shared conditional-probability cache (``None`` when
+        #: caching is off or the engines built private ones).  Replicas front
+        #: the same trained model, so cached conditionals are perfectly
+        #: shareable: one group-wide cache gives strictly higher hit rates
+        #: under the same budget than per-replica slivers.
+        self.cache = cache
+        self.shed = 0
+
+    def __len__(self) -> int:
+        return len(self.engines)
+
+    def replica_of(self, index: int) -> int:
+        """Deterministic replica assignment of one global workload index.
+
+        A CRC of ``"route:index"`` (not Python's randomised ``hash``) so the
+        assignment is stable across processes and replays.
+        """
+        return zlib.crc32(f"{self.route}:{index}".encode()) % len(self.engines)
+
+    @property
+    def pending(self) -> int:
+        """Undispatched queries across all replicas of the group."""
+        return sum(engine.pending for engine in self.engines)
+
+    def submit(self, query: Query, index: int) -> int:
+        """Admit one query onto its hashed replica; returns the replica index.
+
+        Raises :class:`AdmissionError` (after counting the shed) when the
+        group is full under the ``shed`` policy.  Under ``block`` the fullest
+        replica dispatches early instead, so the bound holds without refusing
+        anything.
+        """
+        if self.max_pending is not None and self.pending >= self.max_pending:
+            if self.overflow == "shed":
+                self.shed += 1
+                raise AdmissionError(self.route, self.max_pending, query)
+            fullest = max(self.engines, key=lambda engine: engine.pending)
+            fullest.flush()
+        replica = self.replica_of(index)
+        self.engines[replica].submit(query, index=index)
+        return replica
+
+    def flush(self) -> None:
+        """Dispatch every replica's partially filled micro-batch."""
+        for engine in self.engines:
+            engine.flush()
+
+    def reset(self) -> None:
+        """Start a fresh workload scope on every replica; zero the shed count."""
+        for engine in self.engines:
+            engine.reset()
+        self.shed = 0
+
+    def reports(self) -> list[EngineReport]:
+        """Per-replica reports, in replica order."""
+        return [engine.report() for engine in self.engines]
+
+    def __repr__(self) -> str:
+        bound = self.max_pending if self.max_pending is not None else "unbounded"
+        return (f"ReplicaGroup({self.route!r}, {len(self.engines)} replicas, "
+                f"max_pending={bound}, overflow={self.overflow!r})")
 
 
 class FleetRouter:
-    """Route table-qualified queries to per-model estimation engines.
+    """Route table-qualified queries to replicated per-model engines.
 
     Parameters
     ----------
     registry:
         The model fleet.  Estimators are built and fitted lazily on the first
         query routed to them; call ``registry.fit_all()`` up front to keep
-        training cost out of the serving path.
+        training cost out of the serving path.  Each relation's replica count
+        comes from its registration (``register_table(..., replicas=N)``).
     batch_size:
-        Per-model micro-batch capacity (each engine batches independently).
+        Per-replica micro-batch capacity (each engine batches independently).
     num_samples:
         Progressive sample paths per query; ``None`` defers to each
         estimator's own config.
     use_cache:
-        Enable the per-model conditional-probability LRU caches.
+        Enable the per-replica conditional-probability LRU caches.
     cache_entries:
-        *Shared* fleet-wide cache budget (total distributions across all
-        models); each model receives an equal ``cache_entries / len(registry)``
-        slice, sized at registration count so the split is stable.
+        *Shared* fleet-wide cache budget (total entries across all replica
+        caches plus, when enabled, the result cache); each cache receives an
+        equal slice, sized at construction so the split is stable.
     seed:
-        Base seed of the per-query random streams (shared by all engines, so
-        a query's stream depends only on its global index).
+        Base seed of the per-query random streams (shared by all engines and
+        replicas, so a query's stream depends only on its global index).
     default_route:
         Relation serving queries without a ``table`` qualifier.  Defaults to
         the registry's only relation when it has exactly one; with several
         models and no default, unqualified queries raise
         :class:`RoutingError`.
+    max_pending:
+        Per-replica-group bound on undispatched queries (``None`` =
+        unbounded, the pre-replication behaviour).
+    overflow:
+        Group overflow policy, ``"block"`` (default: backpressure via early
+        dispatch) or ``"shed"`` (refuse with :class:`AdmissionError`).
+    result_cache:
+        Front the fleet with an exact-match result cache on canonicalised
+        queries.  A hit serves the stored selectivity without consuming any
+        model time; entries are stored the moment their micro-batch
+        dispatches, so repeats hit inside a workload scope as well as on
+        replays of it.
     """
 
     def __init__(self, registry: ModelRegistry, *, batch_size: int = 32,
                  num_samples: int | None = None, use_cache: bool = True,
                  cache_entries: int = 262144, seed: int = 0,
-                 default_route: str | None = None) -> None:
+                 default_route: str | None = None,
+                 max_pending: int | None = None, overflow: str = "block",
+                 result_cache: bool = False) -> None:
         if len(registry) == 0:
             raise ValueError("the registry has no relations to serve")
         if batch_size < 1:
@@ -177,6 +437,7 @@ class FleetRouter:
         if default_route is not None and default_route not in registry:
             raise ValueError(f"default route {default_route!r} is not a "
                              f"registered relation ({', '.join(registry.names)})")
+        _validate_admission(max_pending, overflow)
         if default_route is None and len(registry) == 1:
             default_route = registry.names[0]
         self.registry = registry
@@ -184,13 +445,42 @@ class FleetRouter:
         self.num_samples = num_samples
         self.use_cache = use_cache
         self.cache_entries = cache_entries
-        self.cache_entries_per_model = max(1, cache_entries // len(registry))
+        # One shared budget, one slice per cache that actually exists: each
+        # replica's conditional cache (only when use_cache is on) plus one
+        # slice for the result cache when it is enabled.  Replica counts are
+        # read at construction so the split is stable for this router's
+        # lifetime even if the registry is re-tuned afterwards.
+        self._replica_counts = {name: registry.replicas(name)
+                                for name in registry.names}
+        slices = (sum(self._replica_counts.values()) if use_cache else 0) \
+            + (1 if result_cache else 0)
+        self.cache_entries_per_model = max(1, cache_entries // max(slices, 1))
         self.seed = seed
         self.default_route = default_route
-        self._engines: dict[str, EstimationEngine] = {}
+        self.max_pending = max_pending
+        self.overflow = overflow
+        self._groups: dict[str, ReplicaGroup] = {}
+        self._result_cache = (ResultCache(self.cache_entries_per_model)
+                              if result_cache else None)
+        self._cached_results: list[RoutedResult] = []
+        #: Cache-served results submitted since the last report() snapshot —
+        #: the guard in run() refuses to wipe them silently, exactly like
+        #: pending model-served queries.
+        self._unreported_cached = 0
         self._next_index = 0
 
     # ------------------------------------------------------------------ #
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The fleet-wide result cache (``None`` when disabled)."""
+        return self._result_cache
+
+    def _feed_result(self, route: str, result) -> None:
+        """Store one dispatched estimate in the result cache (first in wins)."""
+        key = canonical_query_key(result.query, route=route)
+        if key not in self._result_cache:
+            self._result_cache.put(key, result.selectivity)
+
     def resolve_route(self, query: Query) -> str:
         """The relation a query routes to; raises :class:`RoutingError` if none."""
         route = query.table or self.default_route
@@ -206,62 +496,134 @@ class FleetRouter:
                 f"registered: {', '.join(self.registry.names)}")
         return route
 
-    def engine(self, route: str) -> EstimationEngine:
-        """The per-model engine of one route, created on first use."""
-        engine = self._engines.get(route)
-        if engine is None:
-            engine = EstimationEngine(
-                self.registry.estimator(route), batch_size=self.batch_size,
-                num_samples=self.num_samples, use_cache=self.use_cache,
-                cache_entries=self.cache_entries_per_model, seed=self.seed)
-            self._engines[route] = engine
-        return engine
+    def group(self, route: str) -> ReplicaGroup:
+        """The replica group of one route, materialised on first use.
+
+        Relations registered *after* the router was built are served too
+        (their replica count is read from the registry on first use); only
+        the cache-budget split stays fixed at its construction-time value.
+        """
+        group = self._groups.get(route)
+        if group is None:
+            replicas = self._replica_counts.get(route)
+            if replicas is None:
+                replicas = self.registry.replicas(route)
+                self._replica_counts[route] = replicas
+            estimator = self.registry.estimator(route)
+            sink = None
+            if self._result_cache is not None:
+                def sink(result, route=route):
+                    self._feed_result(route, result)
+            # One conditional cache for the whole group: the replicas share
+            # the relation's one model, so the group pools its replicas'
+            # budget slices instead of fragmenting hot prefixes N ways.
+            shared_cache = (ConditionalProbCache(
+                self.cache_entries_per_model * replicas)
+                if self.use_cache else None)
+            engines = [
+                EstimationEngine(
+                    estimator, batch_size=self.batch_size,
+                    num_samples=self.num_samples, use_cache=self.use_cache,
+                    cache_entries=self.cache_entries_per_model, seed=self.seed,
+                    result_sink=sink, cache=shared_cache)
+                for _ in range(replicas)
+            ]
+            group = ReplicaGroup(route, engines, max_pending=self.max_pending,
+                                 overflow=self.overflow, cache=shared_cache)
+            self._groups[route] = group
+        return group
+
+    def engine(self, route: str, replica: int = 0) -> EstimationEngine:
+        """One replica engine of a route (replica 0 by default)."""
+        return self.group(route).engines[replica]
 
     # ------------------------------------------------------------------ #
     def submit(self, query: Query) -> str:
         """Route and enqueue one query; returns the route it was assigned.
 
         The query's random stream is keyed by its global submission index, so
-        its estimate is independent of what else is in flight.  Raises
-        :class:`RoutingError` (without consuming an index) when the query
-        cannot be routed.
+        its estimate is independent of what else is in flight and of which
+        replica serves it.  With the result cache enabled, an exact repeat of
+        an already answered query is served from memory (it still consumes an
+        index and appears in the report, flagged ``replica=-1``).  Raises
+        :class:`RoutingError` or :class:`AdmissionError` (both without
+        consuming an index) when the query cannot be routed or admitted.
         """
         route = self.resolve_route(query)
-        index = self._next_index
+        if self._result_cache is not None:
+            # Consult the cache before materialising the route's group: a
+            # hit must cost a dictionary lookup, not a lazy model build.
+            key = canonical_query_key(query, route=route)
+            selectivity = self._result_cache.get(key)
+            if selectivity is not None:
+                index = self._next_index
+                self._next_index += 1
+                num_rows = self.registry.serving_rows(route)
+                self._cached_results.append(RoutedResult(
+                    index=index, route=route, query=query,
+                    selectivity=selectivity,
+                    cardinality=selectivity * num_rows,
+                    batch_index=-1, replica=-1))
+                self._unreported_cached += 1
+                return route
+        group = self.group(route)
+        group.submit(query, index=self._next_index)  # may raise AdmissionError
         self._next_index += 1
-        self.engine(route).submit(query, index=index)
         return route
 
     def flush(self) -> None:
-        """Dispatch every engine's partially filled micro-batch."""
-        for engine in self._engines.values():
-            engine.flush()
+        """Dispatch every replica's partially filled micro-batch."""
+        for group in self._groups.values():
+            group.flush()
 
     def run(self, queries: list[Query]) -> FleetReport:
         """Serve a whole mixed workload and return the merged fleet report.
 
         Like :meth:`EstimationEngine.run`, each call is its own workload
         scope: global indices restart at zero and the report covers only this
-        call; only the per-model caches carry over.
+        call; only the per-replica conditional caches and the fleet result
+        cache carry over.  An empty workload returns a well-formed empty
+        report (zero queries, ``queries_per_second == 0.0``).  Under the
+        ``shed`` overflow policy, refused queries are counted per route in
+        the report instead of aborting the run.
         """
-        if any(engine._pending for engine in self._engines.values()):
-            raise RuntimeError("submitted queries are still pending; call "
+        if any(group.pending for group in self._groups.values()) \
+                or self._unreported_cached:
+            raise RuntimeError("submitted queries are still pending or "
+                               "cache-served results are unreported; call "
                                "flush() and report() before run()")
-        for engine in self._engines.values():
-            engine.reset()
+        for group in self._groups.values():
+            group.reset()
+        self._cached_results = []
         self._next_index = 0
         for query in queries:
-            self.submit(query)
+            try:
+                self.submit(query)
+            except AdmissionError:
+                continue  # counted in the group's shed tally
         self.flush()
         return self.report()
 
     def report(self) -> FleetReport:
-        """Merged snapshot of everything served so far, in submission order."""
-        routes = {route: engine.report()
-                  for route, engine in self._engines.items()}
-        return _merge_reports(routes, num_models=len(self.registry),
-                              cache_entries_total=self.cache_entries,
-                              cache_entries_per_model=self.cache_entries_per_model)
+        """Merged snapshot of everything served so far, in submission order.
+
+        Results and throughput cover the current workload scope only; cache
+        hit/miss counters (conditional and result caches alike) are lifetime
+        numbers, because the caches themselves outlive scopes.
+        """
+        route_reports = {route: group.reports()
+                         for route, group in self._groups.items()}
+        self._unreported_cached = 0
+        result_cache_stats = (self._result_cache.stats.as_dict()
+                              if self._result_cache is not None else None)
+        return _merge_reports(
+            route_reports, num_models=len(self.registry),
+            cache_entries_total=self.cache_entries,
+            cache_entries_per_model=self.cache_entries_per_model,
+            cached_results=list(self._cached_results),
+            shed_by_route={route: group.shed
+                           for route, group in self._groups.items()},
+            result_cache_stats=result_cache_stats)
 
 
 def run_fleet_sequential(registry: ModelRegistry, queries: list[Query], *,
@@ -271,10 +633,11 @@ def run_fleet_sequential(registry: ModelRegistry, queries: list[Query], *,
 
     Routes the workload exactly like :class:`FleetRouter`, then answers each
     relation's queries one at a time through :func:`run_sequential` — no
-    micro-batching, no caching, models visited one after another.  Queries
-    keep their global submission indices, so the estimates match the fleet's
-    (up to float round-off); the ``serve_multi`` benchmark reports the
-    throughput ratio between the two.
+    micro-batching, no caching, no replication, models visited one after
+    another.  Queries keep their global submission indices, so the estimates
+    match the fleet's for any replica count (up to float round-off); the
+    ``serve_multi`` and ``serve_replicated`` benchmarks report the throughput
+    ratio between the two.
     """
     router = FleetRouter(registry, batch_size=1, num_samples=num_samples,
                          use_cache=False, seed=seed, default_route=default_route)
@@ -284,11 +647,11 @@ def run_fleet_sequential(registry: ModelRegistry, queries: list[Query], *,
         indices, routed = per_route.setdefault(route, ([], []))
         indices.append(index)
         routed.append(query)
-    routes = {
-        route: run_sequential(registry.estimator(route), routed,
-                              num_samples=num_samples, seed=seed,
-                              indices=indices)
+    route_reports = {
+        route: [run_sequential(registry.estimator(route), routed,
+                               num_samples=num_samples, seed=seed,
+                               indices=indices)]
         for route, (indices, routed) in per_route.items()
     }
-    return _merge_reports(routes, num_models=len(registry),
+    return _merge_reports(route_reports, num_models=len(registry),
                           cache_entries_total=0, cache_entries_per_model=0)

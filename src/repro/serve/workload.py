@@ -108,24 +108,70 @@ def specs_to_queries(specs: list, default_table: str | None = None) -> list[Quer
     return queries
 
 
+def _apportion(num_queries: int, names: list[str],
+               weights: Mapping[str, float] | None) -> list[int]:
+    """Split ``num_queries`` across relations by weight (largest remainder).
+
+    With no weights the split is as even as possible, the remainder going to
+    the earliest relations — the historical behaviour.  With weights, each
+    relation's share is proportional; fractional remainders are handed out
+    largest-first (ties break in registration order), so the counts always
+    sum to ``num_queries`` and no query is silently dropped.
+    """
+    if weights is None:
+        base, remainder = divmod(num_queries, len(names))
+        return [base + (1 if offset < remainder else 0)
+                for offset in range(len(names))]
+    unknown = sorted(set(weights) - set(names))
+    if unknown:
+        raise ValueError(
+            f"workload weights name unknown relations: {', '.join(unknown)} "
+            f"(known: {', '.join(names)})")
+    total = 0.0
+    shares = []
+    for name in names:
+        weight = float(weights.get(name, 0.0))
+        if weight < 0.0:
+            raise ValueError(f"negative workload weight for {name!r}: {weight}")
+        shares.append(weight)
+        total += weight
+    if total <= 0.0:
+        raise ValueError("workload weights must sum to a positive value")
+    exact = [num_queries * share / total for share in shares]
+    counts = [int(value) for value in exact]
+    leftovers = sorted(range(len(names)),
+                       key=lambda offset: (-(exact[offset] - counts[offset]),
+                                           offset))
+    for offset in leftovers[:num_queries - sum(counts)]:
+        counts[offset] += 1
+    return counts
+
+
 def generate_mixed_workload(relations: Mapping[str, Table], num_queries: int, *,
                             min_filters: int = 2, max_filters: int = 5,
-                            seed: int = 0) -> list[Query]:
+                            seed: int = 0,
+                            weights: Mapping[str, float] | None = None) -> list[Query]:
     """Generate a table-qualified workload spread across many relations.
 
-    ``num_queries`` is split as evenly as possible over the relations (the
-    remainder goes to the earliest ones, so no query is silently dropped) and
-    the per-relation workloads are interleaved round-robin, so every
-    micro-batch window of a fleet run mixes routes.  Each relation draws from
-    its own deterministic generator seeded with ``seed`` plus its position.
-    This is the one workload builder shared by the multi-model CLI, the
-    ``serve_multi`` benchmark and the examples.
+    ``num_queries`` is split over the relations — evenly by default, or
+    proportionally to ``weights`` (relation name -> relative share; missing
+    names get zero), which is how the ``serve_replicated`` benchmark builds
+    hot-relation workloads — and the per-relation workloads are interleaved
+    *proportionally*: each relation's queries are spread evenly over the whole
+    workload by fractional position (plain round-robin when the shares are
+    equal), so every micro-batch window of a fleet run mixes routes and a hot
+    relation never arrives as one unbroken tail burst.  Each relation draws
+    from its own deterministic generator seeded with ``seed`` plus its
+    position, so adding or re-weighting relations never changes another
+    relation's queries.  This is the one workload builder shared by the
+    multi-model CLI, the serving benchmarks and the examples.
     """
     if num_queries < 0:
         raise ValueError("num_queries must be non-negative")
     names = list(relations)
     if not names:
         raise ValueError("at least one relation is required")
+    counts = _apportion(num_queries, names, weights)
     per_relation = []
     for offset, name in enumerate(names):
         relation = relations[name]
@@ -133,16 +179,17 @@ def generate_mixed_workload(relations: Mapping[str, Table], num_queries: int, *,
             relation, min_filters=min(min_filters, relation.num_columns),
             max_filters=min(max_filters, relation.num_columns),
             seed=seed + offset)
-        count = num_queries // len(names) + \
-            (1 if offset < num_queries % len(names) else 0)
         per_relation.append([query.qualified(name)
-                             for query in generator.generate(count)])
-    shortest = min(len(bundle) for bundle in per_relation)
-    queries = [query for round_robin in zip(*per_relation)
-               for query in round_robin]
-    for bundle in per_relation:
-        queries.extend(bundle[shortest:])
-    return queries
+                             for query in generator.generate(counts[offset])])
+    # Merge by fractional position: query i of a bundle of n sits at
+    # (i + 0.5) / n, ties breaking in registration order — which reduces to
+    # exact round-robin for equal bundles and evenly dilutes a hot
+    # relation's majority share through the whole workload otherwise.
+    slots = sorted(
+        ((position + 0.5) / len(bundle), offset, position)
+        for offset, bundle in enumerate(per_relation)
+        for position in range(len(bundle)))
+    return [per_relation[offset][position] for _, offset, position in slots]
 
 
 def save_workload(path: str, queries: list[Query],

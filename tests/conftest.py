@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 import pytest
 
@@ -49,3 +52,20 @@ def trained_naru(tiny_table: Table) -> NaruEstimator:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def golden_serve_fixture() -> dict:
+    """The frozen golden-serving answers committed under ``tests/data/``.
+
+    Regenerate (only after an *intentional* semantic change to serving) with
+    ``PYTHONPATH=src python tests/golden_serve.py`` and commit the diff.
+    """
+    path = os.path.join(os.path.dirname(__file__), "data",
+                        "golden_serve_estimates.json")
+    if not os.path.exists(path):
+        pytest.fail(
+            f"golden fixture {path} is missing; regenerate it with "
+            "'PYTHONPATH=src python tests/golden_serve.py' and commit it")
+    with open(path) as handle:
+        return json.load(handle)

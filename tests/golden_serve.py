@@ -1,0 +1,109 @@
+"""The golden serving recipe: one frozen workload, one frozen set of answers.
+
+This module pins every knob of a small end-to-end serving run — tables,
+training config, workload, router shape — so the estimates it produces can be
+frozen under ``tests/data/`` and compared against on every future change.  If
+serving output drifts, the regression test fails loudly; if the drift is
+*intentional* (a deliberate change to training, sampling or routing
+semantics), regenerate the fixture and commit the diff::
+
+    PYTHONPATH=src python tests/golden_serve.py
+
+The recipe lives in one module (shared by the regeneration entry point, the
+``golden_serve`` conftest fixture and the regression test) so the two sides
+can never disagree about what "the golden run" is.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core import NaruConfig
+from repro.data import JoinSpec, make_sessions, make_users
+from repro.serve import (
+    FleetRouter,
+    ModelRegistry,
+    generate_mixed_workload,
+    load_workload,
+    save_workload,
+)
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+WORKLOAD_PATH = os.path.join(DATA_DIR, "golden_serve_workload.json")
+ESTIMATES_PATH = os.path.join(DATA_DIR, "golden_serve_estimates.json")
+
+#: Every knob of the golden run.  Changing any of these is a semantic change
+#: to the fixture — regenerate and commit both data files alongside it.
+GOLDEN = {
+    "users": 80,
+    "sessions": 300,
+    "users_seed": 4,
+    "sessions_seed": 5,
+    "epochs": 2,
+    "hidden_sizes": (16, 16),
+    "train_batch": 128,
+    "num_queries": 10,
+    "num_samples": 50,
+    "batch_size": 3,
+    "replicas": 2,
+    "seed": 2,
+}
+
+
+def build_fleet() -> ModelRegistry:
+    """Train the golden fleet: two base tables plus their join."""
+    config = NaruConfig(epochs=GOLDEN["epochs"],
+                        hidden_sizes=GOLDEN["hidden_sizes"],
+                        batch_size=GOLDEN["train_batch"],
+                        progressive_samples=GOLDEN["num_samples"], seed=0)
+    registry = ModelRegistry(default_config=config)
+    registry.register_table(make_users(num_users=GOLDEN["users"],
+                                       seed=GOLDEN["users_seed"]))
+    registry.register_table(
+        make_sessions(num_rows=GOLDEN["sessions"], num_users=GOLDEN["users"],
+                      seed=GOLDEN["sessions_seed"]),
+        replicas=GOLDEN["replicas"])
+    registry.register_join(JoinSpec("sessions", "users", "user_id", "user_id"))
+    registry.fit_all()
+    return registry
+
+
+def build_workload(registry: ModelRegistry) -> list:
+    """The golden mixed workload (deterministic given the registry)."""
+    return generate_mixed_workload(
+        {name: registry.relation(name) for name in registry.names},
+        GOLDEN["num_queries"], min_filters=1, max_filters=3, seed=7)
+
+
+def serve(registry: ModelRegistry, workload: list):
+    """Serve the workload through the golden router shape."""
+    router = FleetRouter(registry, batch_size=GOLDEN["batch_size"],
+                         num_samples=GOLDEN["num_samples"],
+                         seed=GOLDEN["seed"])
+    return router.run(workload)
+
+
+def regenerate() -> dict:
+    """Rebuild both fixture files; returns the estimates document."""
+    registry = build_fleet()
+    workload = build_workload(registry)
+    os.makedirs(DATA_DIR, exist_ok=True)
+    save_workload(WORKLOAD_PATH, workload)
+    report = serve(registry, load_workload(WORKLOAD_PATH))
+    document = {
+        "golden": {key: list(value) if isinstance(value, tuple) else value
+                   for key, value in GOLDEN.items()},
+        "routes": [result.route for result in report.results],
+        "selectivities": [result.selectivity for result in report.results],
+    }
+    with open(ESTIMATES_PATH, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document
+
+
+if __name__ == "__main__":
+    frozen = regenerate()
+    print(f"Wrote {WORKLOAD_PATH}")
+    print(f"Wrote {ESTIMATES_PATH} ({len(frozen['selectivities'])} estimates)")

@@ -233,6 +233,18 @@ class TestFleetRouter:
         report = router.run([Query([Predicate("plan", Operator.EQ, "pro")])])
         assert report.results[0].route == "users"
 
+    def test_relations_registered_after_router_construction_serve(self, users,
+                                                                  sessions):
+        registry = ModelRegistry(default_config=_CONFIG)
+        registry.register_table(users)
+        router = FleetRouter(registry, batch_size=2, num_samples=40, seed=0,
+                             default_route="users")
+        registry.register_table(sessions, replicas=2)
+        query = Query([Predicate("user_id", Operator.GE, 0)], table="sessions")
+        report = router.run([query])
+        assert report.results[0].route == "sessions"
+        assert report.stats.routes["sessions"]["num_replicas"] == 2
+
     def test_streaming_submit_flush_report(self, fleet, mixed_workload):
         router = FleetRouter(fleet, batch_size=4, num_samples=80, seed=1)
         expected = router.run(mixed_workload).selectivities
@@ -248,6 +260,29 @@ class TestFleetRouter:
     def test_empty_registry_rejected(self):
         with pytest.raises(ValueError, match="no relations"):
             FleetRouter(ModelRegistry(default_config=_CONFIG))
+
+    def test_empty_workload_returns_well_formed_report(self, fleet,
+                                                       mixed_workload):
+        router = FleetRouter(fleet, batch_size=4, num_samples=40, seed=1)
+        report = router.run([])
+        assert report.results == []
+        assert report.stats.num_queries == 0
+        assert report.stats.num_models == 3
+        assert report.stats.queries_per_second == 0.0
+        assert report.stats.elapsed_s == 0.0
+        assert report.stats.shed == 0
+        assert report.selectivities.shape == (0,)
+        # Also after the router has served traffic (groups materialised):
+        # the per-route stats stay well formed at zero queries.
+        router.run(mixed_workload[:3])
+        empty = router.run([])
+        assert empty.stats.num_queries == 0
+        assert empty.stats.queries_per_second == 0.0
+        for route_stats in empty.stats.routes.values():
+            assert route_stats["num_queries"] == 0
+            assert route_stats["queries_per_second"] == 0.0
+        # And an empty run leaves the router serviceable.
+        assert router.run(mixed_workload[:3]).stats.num_queries == 3
 
     def test_join_relation_served_like_base_table(self, fleet):
         """Queries spanning both join sides route to the join's model."""

@@ -384,3 +384,56 @@ class TestServeCLI:
     def test_join_without_tables_rejected(self):
         with pytest.raises(SystemExit, match="--join requires --tables"):
             serve_main(["--join", "a:b:k:k"])
+
+    def test_replicated_end_to_end(self, tmp_path):
+        report_path = os.path.join(tmp_path, "replicated.json")
+        exit_code = serve_main([
+            "--tables", "users", "sessions",
+            "--rows", "400", "--num-queries", "8", "--epochs", "1",
+            "--samples", "40", "--batch-size", "3", "--seed", "5",
+            "--replicas", "2", "--max-pending", "8", "--result-cache",
+            "--json", report_path,
+        ])
+        assert exit_code == 0
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert report["fleet"]["num_queries"] == 8
+        assert report["fleet"]["shed"] == 0
+        assert report["fleet"]["result_cache"]["misses"] == 8
+        for route_stats in report["fleet"]["routes"].values():
+            assert route_stats["num_replicas"] == 2
+            assert len(route_stats["replicas"]) == 2
+
+    def test_shed_overflow_reported(self, tmp_path, capsys):
+        report_path = os.path.join(tmp_path, "shed.json")
+        exit_code = serve_main([
+            "--tables", "users", "sessions",
+            "--rows", "400", "--num-queries", "8", "--epochs", "1",
+            "--samples", "40", "--batch-size", "6", "--seed", "5",
+            "--max-pending", "1", "--overflow", "shed",
+            "--compare-sequential", "--json", report_path,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "shed" in output
+        assert "Skipping --compare-sequential" in output
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert report["fleet"]["shed"] > 0
+        assert "speedup" not in report
+
+    def test_fleet_flags_require_tables(self):
+        with pytest.raises(SystemExit, match="--replicas.*--tables"):
+            serve_main(["--replicas", "2"])
+        with pytest.raises(SystemExit, match="--max-pending.*--tables"):
+            serve_main(["--max-pending", "4"])
+        with pytest.raises(SystemExit, match="--result-cache.*--tables"):
+            serve_main(["--result-cache"])
+        with pytest.raises(SystemExit, match="--overflow.*--tables"):
+            serve_main(["--overflow", "shed"])
+        with pytest.raises(SystemExit, match="at least 1"):
+            serve_main(["--tables", "users", "--replicas", "0"])
+        with pytest.raises(SystemExit, match="non-negative"):
+            serve_main(["--tables", "users", "--max-pending", "-1"])
+        with pytest.raises(SystemExit, match="shed requires --max-pending"):
+            serve_main(["--tables", "users", "--overflow", "shed"])

@@ -1,0 +1,165 @@
+"""Admission control: bounded replica-group queues, block vs shed overflow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NaruConfig
+from repro.data import make_users
+from repro.query import WorkloadGenerator
+from repro.serve import (
+    AdmissionError,
+    EstimationEngine,
+    FleetRouter,
+    ModelRegistry,
+    ReplicaGroup,
+)
+
+_CONFIG = NaruConfig(epochs=2, hidden_sizes=(16, 16), batch_size=128,
+                     progressive_samples=50, seed=0)
+
+
+@pytest.fixture(scope="module")
+def users():
+    return make_users(num_users=100, seed=4)
+
+
+@pytest.fixture(scope="module")
+def registry(users):
+    fleet = ModelRegistry(default_config=_CONFIG)
+    fleet.register_table(users, replicas=2)
+    fleet.fit_all()
+    return fleet
+
+
+@pytest.fixture(scope="module")
+def workload(users):
+    generator = WorkloadGenerator(users, min_filters=1, max_filters=3, seed=9)
+    return [query.qualified("users") for query in generator.generate(10)]
+
+
+class TestReplicaGroup:
+    def test_validation(self, registry):
+        estimator = registry.estimator("users")
+        engine = EstimationEngine(estimator, batch_size=4, num_samples=50)
+        with pytest.raises(ValueError, match="at least one engine"):
+            ReplicaGroup("users", [])
+        with pytest.raises(ValueError, match="max_pending"):
+            ReplicaGroup("users", [engine], max_pending=0)
+        with pytest.raises(ValueError, match="overflow"):
+            ReplicaGroup("users", [engine], overflow="drop")
+
+    def test_hash_assignment_is_stable_and_spread(self, registry):
+        estimator = registry.estimator("users")
+        engines = [EstimationEngine(estimator, batch_size=4, num_samples=50)
+                   for _ in range(3)]
+        group = ReplicaGroup("users", engines)
+        assignments = [group.replica_of(index) for index in range(64)]
+        assert assignments == [group.replica_of(index) for index in range(64)]
+        assert set(assignments) == {0, 1, 2}  # every replica takes traffic
+        # The salt matters: another route spreads the same indices differently.
+        other = ReplicaGroup("sessions", engines)
+        assert assignments != [other.replica_of(index) for index in range(64)]
+
+
+class TestShedPolicy:
+    def test_submit_raises_typed_error_without_consuming_index(self, registry,
+                                                               workload):
+        router = FleetRouter(registry, batch_size=16, num_samples=50, seed=1,
+                             max_pending=2, overflow="shed")
+        assert router.submit(workload[0]) == "users"
+        assert router.submit(workload[1]) == "users"
+        with pytest.raises(AdmissionError) as excinfo:
+            router.submit(workload[2])
+        assert excinfo.value.route == "users"
+        assert excinfo.value.max_pending == 2
+        assert excinfo.value.query is workload[2]
+        # The shed submission consumed no global index: the next admitted
+        # query lands at index 2.
+        router.flush()
+        report = router.report()
+        assert [result.index for result in report.results] == [0, 1]
+        assert report.stats.shed == 1
+        assert report.stats.routes["users"]["shed"] == 1
+
+    def test_run_counts_sheds_and_serves_the_rest(self, registry, workload):
+        router = FleetRouter(registry, batch_size=16, num_samples=50, seed=1,
+                             max_pending=3, overflow="shed")
+        report = router.run(workload)
+        assert report.stats.shed == len(workload) - 3
+        assert report.stats.num_queries == 3
+        # Shed queries leave no gaps: the served ones keep indices 0..2.
+        assert [result.index for result in report.results] == [0, 1, 2]
+        # A new run scope resets the shed tally.
+        assert router.run(workload[:2]).stats.shed == 0
+
+    def test_dispatch_reopens_admission(self, registry, workload):
+        # max_pending == batch_size x replicas: every fill triggers a
+        # dispatch before the bound is ever exceeded, so nothing sheds.
+        router = FleetRouter(registry, batch_size=2, num_samples=50, seed=1,
+                             max_pending=4, overflow="shed")
+        report = router.run(workload)
+        assert report.stats.shed == 0
+        assert report.stats.num_queries == len(workload)
+
+
+class TestBlockPolicy:
+    def test_bounds_pending_without_refusing_or_drifting(self, registry,
+                                                         workload):
+        unbounded = FleetRouter(registry, batch_size=16, num_samples=50,
+                                seed=1).run(workload)
+        router = FleetRouter(registry, batch_size=16, num_samples=50, seed=1,
+                             max_pending=3, overflow="block")
+        peak = 0
+        for query in workload:
+            router.submit(query)
+            peak = max(peak, sum(group.pending
+                                 for group in router._groups.values()))
+        router.flush()
+        report = router.report()
+        assert peak <= 3
+        assert report.stats.shed == 0
+        assert report.stats.num_queries == len(workload)
+        # Backpressure only moves micro-batch boundaries; estimates hold.
+        np.testing.assert_allclose(report.selectivities,
+                                   unbounded.selectivities,
+                                   rtol=0.0, atol=1e-12)
+
+    def test_block_is_the_default_policy(self, registry):
+        router = FleetRouter(registry, batch_size=4, max_pending=2)
+        assert router.overflow == "block"
+
+
+class TestRouterValidation:
+    def test_bad_knobs_rejected(self, registry):
+        with pytest.raises(ValueError, match="max_pending"):
+            FleetRouter(registry, max_pending=0)
+        with pytest.raises(ValueError, match="overflow"):
+            FleetRouter(registry, overflow="spill")
+
+    def test_inert_shed_configuration_rejected(self, registry):
+        # shed without a bound could never shed anything — refuse it rather
+        # than hand out a router that silently provides no overload
+        # protection (the CLI refuses the same combination).
+        with pytest.raises(ValueError, match="requires max_pending"):
+            FleetRouter(registry, overflow="shed")
+        estimator = registry.estimator("users")
+        engine = EstimationEngine(estimator, batch_size=4, num_samples=50)
+        with pytest.raises(ValueError, match="requires max_pending"):
+            ReplicaGroup("users", [engine], overflow="shed")
+
+    def test_registry_rejects_bad_replicas(self, users):
+        fleet = ModelRegistry(default_config=_CONFIG)
+        with pytest.raises(ValueError, match="replicas"):
+            fleet.register_table(users, replicas=0)
+        fleet.register_table(users, replicas=2)
+        assert fleet.replicas("users") == 2
+        assert fleet.total_replicas == 2
+        with pytest.raises(ValueError, match="replicas"):
+            fleet.set_replicas("users", -1)
+        with pytest.raises(KeyError):
+            fleet.set_replicas("nope", 2)
+        fleet.set_replicas("users", 3)
+        assert fleet.replicas("users") == 3
+        assert fleet.size_report()["users"]["replicas"] == 3

@@ -1,0 +1,188 @@
+"""Direct unit tests for the serving caches: eviction order, canonical keys
+and the shared ``cache_entries`` budget split across models, replicas and the
+fleet result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NaruConfig
+from repro.data import make_users
+from repro.query import Operator, Predicate, Query
+from repro.serve import (
+    ConditionalProbCache,
+    FleetRouter,
+    ModelRegistry,
+    ResultCache,
+    canonical_query_key,
+)
+
+_CONFIG = NaruConfig(epochs=1, hidden_sizes=(8, 8), batch_size=128,
+                     progressive_samples=30, seed=0)
+
+
+class TestCanonicalQueryKey:
+    def test_predicate_order_is_irrelevant(self):
+        forward = Query.from_tuples([("a", "=", 1), ("b", "<=", 4)])
+        backward = Query.from_tuples([("b", "<=", 4), ("a", "=", 1)])
+        assert canonical_query_key(forward) == canonical_query_key(backward)
+
+    def test_in_lists_deduplicate_and_sort(self):
+        left = Query([Predicate("a", Operator.IN, ["x", "y", "x"])])
+        right = Query([Predicate("a", Operator.IN, ["y", "x"])])
+        assert canonical_query_key(left) == canonical_query_key(right)
+
+    def test_numpy_scalars_unwrap(self):
+        plain = Query.from_tuples([("a", "=", 3)])
+        numpyish = Query.from_tuples([("a", "=", np.int64(3))])
+        assert canonical_query_key(plain) == canonical_query_key(numpyish)
+        between = Query([Predicate("a", Operator.BETWEEN,
+                                   (np.int64(1), np.int64(5)))])
+        assert canonical_query_key(between) == canonical_query_key(
+            Query([Predicate("a", Operator.BETWEEN, (1, 5))]))
+
+    def test_distinct_queries_stay_distinct(self):
+        base = Query.from_tuples([("a", "=", 1)])
+        assert canonical_query_key(base) != canonical_query_key(
+            Query.from_tuples([("a", "=", 2)]))          # literal
+        assert canonical_query_key(base) != canonical_query_key(
+            Query.from_tuples([("a", "<=", 1)]))         # operator
+        assert canonical_query_key(base) != canonical_query_key(
+            Query.from_tuples([("b", "=", 1)]))          # column
+        assert canonical_query_key(base) != canonical_query_key(
+            Query.from_tuples([("a", "=", 1), ("b", "=", 1)]))  # extra filter
+
+    def test_incomparable_literal_types_do_not_crash(self):
+        # Two predicates on one column+operator with incomparable literals
+        # (a contradictory but syntactically valid conjunction, e.g. from a
+        # hand-written workload file) must canonicalise, not raise TypeError.
+        mixed = Query.from_tuples([("a", "=", 1), ("a", "=", "x")])
+        flipped = Query.from_tuples([("a", "=", "x"), ("a", "=", 1)])
+        assert canonical_query_key(mixed) == canonical_query_key(flipped)
+        ins = Query([Predicate("a", Operator.IN, [1, 2]),
+                     Predicate("a", Operator.IN, ["x", "y"])])
+        assert canonical_query_key(ins)  # just must not crash
+
+    def test_route_wins_over_query_qualifier(self):
+        query = Query.from_tuples([("a", "=", 1)], table="users")
+        explicit = canonical_query_key(query, route="users")
+        default_routed = canonical_query_key(
+            Query.from_tuples([("a", "=", 1)]), route="users")
+        assert explicit == default_routed
+        assert canonical_query_key(query) == explicit  # falls back to .table
+        assert canonical_query_key(query, route="other") != explicit
+
+
+class TestResultCache:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(("a",), 0.1)
+        cache.put(("b",), 0.2)
+        assert cache.get(("a",)) == 0.1        # refresh "a"
+        cache.put(("c",), 0.3)                 # evicts "b", the LRU entry
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 0.1
+        assert cache.get(("c",)) == 0.3
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_zero_selectivity_is_a_hit_not_a_miss(self):
+        cache = ResultCache()
+        cache.put(("empty",), 0.0)
+        assert cache.get(("empty",)) == 0.0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ResultCache(max_entries=0)
+        cache.put(("a",), 0.5)
+        assert cache.get(("a",)) is None
+        assert len(cache) == 0
+
+    def test_counters_and_contains(self):
+        cache = ResultCache()
+        assert cache.get(("a",)) is None
+        cache.put(("a",), 0.4)
+        assert ("a",) in cache
+        assert ("b",) not in cache
+        assert cache.get(("a",)) == 0.4
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1,
+                                         "evictions": 0, "hit_rate": 0.5}
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=-1)
+
+
+class TestSharedBudgetSplit:
+    """One ``cache_entries`` budget, split across every cache in the fleet."""
+
+    @pytest.fixture(scope="class")
+    def registry(self):
+        fleet = ModelRegistry(default_config=_CONFIG)
+        fleet.register_table(make_users(num_users=60, seed=4))
+        fleet.register_table(make_users(num_users=60, seed=5), name="users_b",
+                             replicas=3)
+        return fleet
+
+    def test_split_counts_replicas(self, registry):
+        # 1 + 3 replicas, no result cache: four equal slices.
+        router = FleetRouter(registry, cache_entries=400)
+        assert router.cache_entries_per_model == 100
+        # Enabling the result cache adds a fifth slice.
+        cached = FleetRouter(registry, cache_entries=400, result_cache=True)
+        assert cached.cache_entries_per_model == 80
+        assert cached.result_cache.max_entries == 80
+
+    def test_replicas_pool_their_slices_into_one_group_cache(self, registry):
+        router = FleetRouter(registry, cache_entries=400, result_cache=True)
+        for route in registry.names:
+            group = router.group(route)
+            replicas = registry.replicas(route)
+            assert len(group) == replicas
+            # The group's conditional cache pools its replicas' slices (the
+            # replicas front the same model, so entries are shareable) and
+            # every engine uses that one cache.
+            assert group.cache.max_entries == 80 * replicas
+            for engine in group.engines:
+                assert engine._cache is group.cache
+
+    def test_budget_never_rounds_to_zero(self, registry):
+        router = FleetRouter(registry, cache_entries=2, result_cache=True)
+        assert router.cache_entries_per_model == 1
+
+    def test_disabled_conditional_caches_free_their_slices(self, registry):
+        # With use_cache=False the conditional caches do not exist, so the
+        # result cache — the only cache storing anything — gets the whole
+        # budget instead of a 1/(replicas+1) sliver.
+        router = FleetRouter(registry, cache_entries=400, use_cache=False,
+                             result_cache=True)
+        assert router.result_cache.max_entries == 400
+
+    def test_split_is_stable_after_retuning(self, registry):
+        router = FleetRouter(registry, cache_entries=400)
+        registry.set_replicas("users_b", 1)
+        try:
+            # The router sized its slices at construction; a later registry
+            # re-tune does not shrink or grow the running caches.
+            assert router.cache_entries_per_model == 100
+            assert len(router.group("users_b")) == 3
+        finally:
+            registry.set_replicas("users_b", 3)
+
+
+class TestConditionalBudgetUnderReplication:
+    def test_eviction_respects_per_replica_slice(self):
+        cache = ConditionalProbCache(max_entries=3)
+        for key in range(5):
+            cache.put((0, key), np.array([float(key)]))
+        assert len(cache) == 3
+        assert cache.stats.evictions == 2
+        # The survivors are the three most recently inserted entries.
+        assert cache.get((0, 0)) is None
+        assert cache.get((0, 4)) is not None

@@ -1,0 +1,56 @@
+"""Golden-workload regression: frozen serving output must not drift.
+
+The fixture files under ``tests/data/`` pin the exact estimates one small
+end-to-end serving run produced when they were last regenerated.  Any change
+that shifts them — training, sampling, routing, random-stream keying — fails
+here loudly, with a regeneration hint for the cases where the shift is
+intentional.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import golden_serve
+from repro.serve import load_workload
+
+_REGEN_HINT = (
+    "Serving output drifted from the golden fixture under tests/data/. "
+    "If this change is intentional (training, sampling or routing semantics "
+    "deliberately changed), regenerate the fixture and commit the new files:"
+    "\n\n    PYTHONPATH=src python tests/golden_serve.py\n")
+
+
+def test_golden_workload_estimates_have_not_drifted(golden_serve_fixture):
+    expected = golden_serve_fixture
+    # The frozen knobs must match the recipe: a silent edit to one side
+    # invalidates the comparison, so check it explicitly first.
+    frozen_knobs = {key: tuple(value) if isinstance(value, list) else value
+                    for key, value in expected["golden"].items()}
+    assert frozen_knobs == golden_serve.GOLDEN, (
+        "tests/data/golden_serve_estimates.json was generated with different "
+        "knobs than tests/golden_serve.py declares. " + _REGEN_HINT)
+
+    registry = golden_serve.build_fleet()
+    workload = load_workload(golden_serve.WORKLOAD_PATH)
+    assert len(workload) == len(expected["selectivities"])
+    report = golden_serve.serve(registry, workload)
+
+    assert [result.route for result in report.results] == expected["routes"], (
+        "Routing of the golden workload changed. " + _REGEN_HINT)
+    np.testing.assert_allclose(
+        report.selectivities, np.asarray(expected["selectivities"]),
+        rtol=1e-6, atol=1e-9,
+        err_msg="Estimates for the golden workload drifted. " + _REGEN_HINT)
+
+
+def test_golden_workload_matches_generator(golden_serve_fixture):
+    """The frozen workload file is the one the recipe generates today."""
+    registry = golden_serve.build_fleet()
+    regenerated = golden_serve.build_workload(registry)
+    frozen = load_workload(golden_serve.WORKLOAD_PATH)
+    assert len(frozen) == len(regenerated), _REGEN_HINT
+    for left, right in zip(frozen, regenerated):
+        assert left.table == right.table, _REGEN_HINT
+        assert [(p.column, p.operator, p.value) for p in left] == \
+            [(p.column, p.operator, p.value) for p in right], _REGEN_HINT

@@ -1,0 +1,246 @@
+"""Property-style invariance suite for the replicated serving stack.
+
+The serving layer's one load-bearing contract: **how** a workload is served —
+micro-batch size, replica count, result cache on or off, routing order — must
+never change **what** it answers.  Every query's random stream is keyed by
+``(seed, global workload index)`` alone, so the unbatched sequential baseline
+(:func:`repro.serve.run_fleet_sequential`) is the ground truth and every
+configuration in the grid below must reproduce it.
+
+The tolerance is one-ulp loose (``atol=1e-12`` on selectivities in ``[0, 1]``)
+because different micro-batch shapes push different row counts through the
+BLAS, which may round the last bit differently; any real behavioural drift —
+a re-keyed stream, a misrouted query, a cache serving the wrong entry — shows
+up orders of magnitude above it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NaruConfig
+from repro.data import JoinSpec, make_sessions, make_users
+from repro.query import Query, WorkloadGenerator
+from repro.serve import (
+    FleetRouter,
+    ModelRegistry,
+    generate_mixed_workload,
+    load_workload,
+    run_fleet_sequential,
+    save_workload,
+)
+
+_CONFIG = NaruConfig(epochs=2, hidden_sizes=(16, 16), batch_size=128,
+                     progressive_samples=60, seed=0)
+_SAMPLES = 60
+_SEED = 2
+_DEFAULT_ROUTE = "sessions"
+
+#: The grid of serving configurations that must all agree with the baseline.
+_BATCH_SIZES = (1, 3, 16)
+_REPLICAS = (1, 2, 4)
+_RESULT_CACHE = (False, True)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """A fitted registry: two base tables plus their join relation."""
+    registry = ModelRegistry(default_config=_CONFIG)
+    registry.register_table(make_users(num_users=100, seed=4))
+    registry.register_table(make_sessions(num_rows=400, num_users=100, seed=5))
+    registry.register_join(JoinSpec("sessions", "users", "user_id", "user_id"))
+    registry.fit_all()
+    return registry
+
+
+@pytest.fixture(scope="module")
+def workload(fleet):
+    """A mixed workload: qualified queries over all three relations plus
+    unqualified (v1-style) queries that fall back to the default route."""
+    qualified = generate_mixed_workload(
+        {name: fleet.relation(name) for name in fleet.names}, 12,
+        min_filters=1, max_filters=3, seed=7)
+    unqualified = [
+        Query(query.predicates)  # strip the qualifier: v1-file behaviour
+        for query in WorkloadGenerator(fleet.relation(_DEFAULT_ROUTE),
+                                       min_filters=1, max_filters=3,
+                                       seed=31).generate(3)
+    ]
+    # Interleave so unqualified queries land inside micro-batch windows, not
+    # only at the tail.
+    mixed = list(qualified)
+    for offset, query in enumerate(unqualified):
+        mixed.insert(4 * offset + 2, query)
+    return mixed
+
+
+@pytest.fixture(scope="module")
+def baseline(fleet, workload):
+    """Ground truth: one unbatched, uncached sampler pass per query."""
+    return run_fleet_sequential(fleet, workload, num_samples=_SAMPLES,
+                                seed=_SEED, default_route=_DEFAULT_ROUTE)
+
+
+def _router(fleet, *, batch_size, replicas, result_cache):
+    for name in fleet.names:
+        fleet.set_replicas(name, replicas)
+    try:
+        return FleetRouter(fleet, batch_size=batch_size, num_samples=_SAMPLES,
+                           seed=_SEED, default_route=_DEFAULT_ROUTE,
+                           result_cache=result_cache)
+    finally:
+        for name in fleet.names:
+            fleet.set_replicas(name, 1)
+
+
+@pytest.mark.parametrize("batch_size", _BATCH_SIZES)
+@pytest.mark.parametrize("replicas", _REPLICAS)
+@pytest.mark.parametrize("result_cache", _RESULT_CACHE,
+                         ids=["nocache", "rescache"])
+def test_grid_matches_sequential_baseline(fleet, workload, baseline,
+                                          batch_size, replicas, result_cache):
+    """Every (batch_size, replicas, result_cache) cell reproduces the baseline."""
+    router = _router(fleet, batch_size=batch_size, replicas=replicas,
+                     result_cache=result_cache)
+    report = router.run(workload)
+    assert [result.index for result in report.results] == \
+        list(range(len(workload)))
+    assert [result.route for result in report.results] == \
+        [result.route for result in baseline.results]
+    np.testing.assert_allclose(report.selectivities, baseline.selectivities,
+                               rtol=0.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("replicas", _REPLICAS[1:])
+def test_replicas_match_single_replica_run(fleet, workload, replicas):
+    """replicas=1 and replicas=N agree on the same router configuration."""
+    single = _router(fleet, batch_size=4, replicas=1,
+                     result_cache=False).run(workload)
+    replicated = _router(fleet, batch_size=4, replicas=replicas,
+                         result_cache=False).run(workload)
+    np.testing.assert_allclose(replicated.selectivities, single.selectivities,
+                               rtol=0.0, atol=1e-12)
+    # The replicated run really did spread the queries: with 15 queries per
+    # route grid cell, at least one route uses more than one replica.
+    used = {(result.route, result.replica) for result in replicated.results}
+    assert len(used) > len({route for route, _ in used})
+
+
+def test_replica_assignment_is_deterministic(fleet, workload):
+    """The (relation, index) hash pins each query to the same replica, always."""
+    first = _router(fleet, batch_size=4, replicas=3,
+                    result_cache=False).run(workload)
+    second = _router(fleet, batch_size=4, replicas=3,
+                     result_cache=False).run(workload)
+    assert [result.replica for result in first.results] == \
+        [result.replica for result in second.results]
+
+
+def test_warm_result_cache_replays_exactly(fleet, workload):
+    """A replayed workload is answered from the result cache, bit-for-bit."""
+    router = _router(fleet, batch_size=4, replicas=2, result_cache=True)
+    cold = router.run(workload)
+    warm = router.run(workload)
+    assert warm.result_cache_hits == len(workload)
+    assert all(result.from_result_cache for result in warm.results)
+    np.testing.assert_array_equal(warm.selectivities, cold.selectivities)
+    # Cardinalities are rebuilt from the routed relation's live row count.
+    for result in warm.results:
+        assert result.cardinality == pytest.approx(
+            result.selectivity * fleet.relation(result.route).num_rows)
+
+
+def test_run_refuses_unreported_streaming_cache_hits(fleet, workload):
+    """Cache-served streaming results cannot be wiped silently by run()."""
+    router = _router(fleet, batch_size=4, replicas=1, result_cache=True)
+    router.run(workload)                   # warm the result cache
+    router.submit(workload[0])             # streaming hit: answered, unreported
+    with pytest.raises(RuntimeError, match="unreported"):
+        router.run(workload[:2])
+    report = router.report()               # collect the streaming scope...
+    assert report.results[-1].from_result_cache
+    assert router.run(workload[:2]).stats.num_queries == 2  # ...then run works
+
+
+def test_cache_hit_cardinality_tracks_refreshed_row_counts(fleet, workload):
+    """Cached selectivities stay valid under set_row_count: the cardinality
+    of a cache-served answer scales by the estimator's live row count, the
+    same number the model-served path uses."""
+    router = _router(fleet, batch_size=4, replicas=1, result_cache=True)
+    cold = router.run(workload)
+    route = cold.results[0].route
+    estimator = fleet.estimator(route)
+    original_rows = estimator.num_rows
+    estimator.set_row_count(original_rows * 2)
+    try:
+        warm = router.run(workload)
+        assert warm.results[0].from_result_cache
+        assert warm.results[0].cardinality == pytest.approx(
+            warm.results[0].selectivity * original_rows * 2)
+    finally:
+        estimator.set_row_count(original_rows)
+
+
+def test_duplicate_query_is_served_first_occurrence(fleet, workload):
+    """Exact repeats share the earliest dispatched occurrence's answer —
+    inside one workload scope (results enter the cache as their micro-batch
+    dispatches) as well as on a replay of it."""
+    repeated = workload[:4] + [workload[1].qualified(workload[1].table
+                                                     or _DEFAULT_ROUTE)]
+    router = _router(fleet, batch_size=1, replicas=2, result_cache=True)
+    first = router.run(repeated)
+    # batch_size=1 dispatches each query on submission, so the intra-run
+    # repeat already hits the cache in the cold pass.
+    assert first.results[-1].from_result_cache
+    assert first.results[-1].selectivity == first.results[1].selectivity
+    second = router.run(repeated)          # replay: everything hits
+    assert second.results[-1].from_result_cache
+    assert second.results[-1].selectivity == first.results[1].selectivity
+
+
+def test_weighted_workloads_build_hot_relations(fleet):
+    """`weights` skews the mixed-workload split without dropping queries."""
+    relations = {name: fleet.relation(name) for name in fleet.names}
+    hot = generate_mixed_workload(relations, 20, min_filters=1, max_filters=3,
+                                  seed=7, weights={"sessions": 3.0,
+                                                   "users": 1.0})
+    counts = {name: sum(query.table == name for query in hot)
+              for name in fleet.names}
+    assert sum(counts.values()) == 20
+    assert counts["sessions"] == 15
+    assert counts["users"] == 5
+    assert counts["sessions_join_users"] == 0  # unnamed relations get zero
+    # Weighting one relation never changes another relation's queries: the
+    # users queries of the hot split are a prefix-set of the even split's.
+    even = generate_mixed_workload(relations, 20, min_filters=1,
+                                   max_filters=3, seed=7)
+    hot_users = [str(query) for query in hot if query.table == "users"]
+    even_users = [str(query) for query in even if query.table == "users"]
+    assert hot_users == even_users[:len(hot_users)]
+    # The hot majority is diluted through the workload, not appended as one
+    # tail burst: with a 15/5 split, no more than 3 sessions queries run
+    # back-to-back (one users query every ~3 sessions queries).
+    longest = run = 0
+    for query in hot:
+        run = run + 1 if query.table == "sessions" else 0
+        longest = max(longest, run)
+    assert longest <= 3
+    with pytest.raises(ValueError, match="negative"):
+        generate_mixed_workload(relations, 8, weights={"users": -1.0})
+    with pytest.raises(ValueError, match="unknown relations"):
+        generate_mixed_workload(relations, 8, weights={"nope": 1.0})
+    with pytest.raises(ValueError, match="positive"):
+        generate_mixed_workload(relations, 8, weights={"users": 0.0})
+
+
+def test_workload_file_roundtrip_preserves_estimates(fleet, workload, baseline,
+                                                     tmp_path):
+    """A v2 workload file replayed through the router reproduces the baseline."""
+    path = str(tmp_path / "mixed.json")
+    save_workload(path, workload, table_name=_DEFAULT_ROUTE)
+    loaded = load_workload(path)
+    report = _router(fleet, batch_size=4, replicas=2,
+                     result_cache=False).run(loaded)
+    np.testing.assert_allclose(report.selectivities, baseline.selectivities,
+                               rtol=0.0, atol=1e-12)
