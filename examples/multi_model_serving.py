@@ -38,7 +38,9 @@ def main() -> None:
         epochs=6, hidden_sizes=(64, 64), batch_size=256,
         progressive_samples=500))
     registry.register_table(make_users(400))
-    registry.register_table(make_sessions(6_000, num_users=400))
+    # The fact table is the hot relation: two engine replicas share its one
+    # trained model (replication never retrains and never changes a number).
+    registry.register_table(make_sessions(6_000, num_users=400), replicas=2)
     registry.register_join(JoinSpec("sessions", "users", "user_id", "user_id"))
 
     # 2. Train the whole fleet up front (lazy fit-on-first-query also works),
@@ -57,16 +59,30 @@ def main() -> None:
         48, min_filters=2, max_filters=4, seed=0)
 
     # 4. Serve it through the router: per-model micro-batches, per-model LRU
-    #    caches under one shared budget, merged per-route statistics.
-    router = FleetRouter(registry, batch_size=8, cache_entries=98_304, seed=0)
+    #    caches under one shared budget, an exact-match result cache over the
+    #    whole fleet, and merged per-route statistics.
+    router = FleetRouter(registry, batch_size=8, cache_entries=98_304, seed=0,
+                         result_cache=True)
     report = router.run(workload)
     print(f"\nServed {report.stats.num_queries} queries across "
           f"{report.stats.num_models} models "
           f"({report.stats.queries_per_second:.0f} queries/s)")
     for route, stats in report.stats.routes.items():
+        replicas = (f" on {stats['num_replicas']} replicas"
+                    if stats["num_replicas"] > 1 else "")
         print(f"  {route:<22} {stats['num_queries']:>3} queries  "
               f"{stats['queries_per_second']:7.1f} q/s  "
-              f"cache hit rate {stats['cache']['hit_rate']:.0%}")
+              f"cache hit rate {stats['cache']['hit_rate']:.0%}{replicas}")
+
+    # 4b. Replay the workload: the result cache answers every repeat from
+    #     memory, bit-for-bit, without touching a model.
+    replay = router.run(workload)
+    # Note: stats.result_cache holds *lifetime* counters (cold misses included);
+    # the replay-scope rate comes from the report's own hit count.
+    print(f"Replay served {replay.result_cache_hits}/{len(workload)} queries "
+          f"from the result cache "
+          f"({replay.result_cache_hits / replay.stats.num_queries:.0%} of "
+          "this replay)")
 
     # 5. Routing never changes the answers: every query's random stream is
     #    keyed by (seed, global workload index), so N independent sequential

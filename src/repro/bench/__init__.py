@@ -9,6 +9,7 @@ from .experiments import (
     figure8_column_scaling,
     serve_multi,
     serve_replicated,
+    serve_stream,
     serve_throughput,
     table3_dmv_accuracy,
     table4_conviva_accuracy,
@@ -47,6 +48,7 @@ __all__ = [
     "serve_throughput",
     "serve_multi",
     "serve_replicated",
+    "serve_stream",
     "EXPERIMENTS",
     "run_experiment",
     "list_experiments",

@@ -40,6 +40,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
     "serve_replicated": ("Replicated hot-relation serving with admission "
                          "control and a fleet result cache",
                          experiments.serve_replicated),
+    "serve_stream": ("Async streaming submission and SLO-aware adaptive "
+                     "batching under bursty arrivals",
+                     experiments.serve_stream),
 }
 
 

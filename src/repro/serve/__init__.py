@@ -104,6 +104,37 @@ result cache on canonicalised queries (``result_cache=True``)::
 ``python -m repro.serve --tables users sessions --replicas 4 --max-pending 32
 --result-cache`` is the command-line form, and the ``serve_replicated``
 benchmark measures the hot-relation throughput claim.
+
+Streaming submission and latency SLOs
+-------------------------------------
+Workloads do not have to arrive as lists.  :class:`AsyncFleetClient` streams
+queries in one at a time from asyncio producers and resolves each through a
+future; :class:`StreamingRouter` adds SLO-aware adaptive batching — one
+:class:`AdaptiveBatchController` per relation watches a dispatch-latency EWMA
+and grows/shrinks the relation's micro-batch size within ``[1, batch_size]``
+to keep p95 dispatch latency under a target (router-wide ``slo_ms``, or
+per-relation via ``register_table(..., slo_ms=...)``).  Because estimates are
+keyed by ``(seed, global submission index)`` alone, streaming ≡ batch for any
+arrival order, and adaptive batch boundaries never change a number::
+
+    import asyncio
+    from repro.serve import AsyncFleetClient, StreamingRouter
+
+    router = StreamingRouter(registry, batch_size=32, slo_ms=50.0)
+
+    async def producer(client, queries):
+        futures = [client.submit(query) for query in queries]
+        report = await client.drain()
+        return futures, report
+
+    futures, report = asyncio.run(producer(AsyncFleetClient(router), queries))
+    print(report.stats.latency_ms["p95"],
+          report.stats.routes["sessions"]["batch_trace"])
+
+``python -m repro.serve --tables users sessions --stream --adaptive
+--slo-ms 50`` is the command-line form; the ``serve_stream`` benchmark
+compares fixed vs adaptive batching under bursty arrivals
+(:func:`generate_bursty_workload`).
 """
 
 from .cache import (
@@ -132,9 +163,21 @@ from .router import (
     ReplicaGroup,
     RoutedResult,
     RoutingError,
+    latency_percentiles,
     run_fleet_sequential,
 )
-from .workload import generate_mixed_workload, load_workload, save_workload
+from .stream import (
+    AdaptiveBatchController,
+    AsyncFleetClient,
+    StreamingRouter,
+    stream_workload,
+)
+from .workload import (
+    generate_bursty_workload,
+    generate_mixed_workload,
+    load_workload,
+    save_workload,
+)
 
 __all__ = [
     "EstimationEngine",
@@ -159,7 +202,13 @@ __all__ = [
     "RoutingError",
     "AdmissionError",
     "run_fleet_sequential",
+    "latency_percentiles",
+    "AdaptiveBatchController",
+    "StreamingRouter",
+    "AsyncFleetClient",
+    "stream_workload",
     "generate_mixed_workload",
+    "generate_bursty_workload",
     "load_workload",
     "save_workload",
 ]

@@ -28,6 +28,12 @@ Multi-model usage (a registry of relations behind one router)::
     # and front the fleet with an exact-match result cache.
     python -m repro.serve --tables users sessions --replicas 4 \
         --max-pending 32 --overflow shed --result-cache --num-queries 96
+
+    # Stream the workload query-by-query through the asyncio client, with
+    # SLO-aware adaptive batching: micro-batches shrink whenever the
+    # dispatch-latency EWMA threatens the 50 ms p95 target.
+    python -m repro.serve --tables users sessions --stream \
+        --adaptive --slo-ms 50 --num-queries 96
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ from .cache import canonical_query_key
 from .engine import EstimationEngine, run_sequential
 from .registry import ModelRegistry
 from .router import FleetRouter, RoutingError, run_fleet_sequential
+from .stream import StreamingRouter, stream_workload
 from .workload import generate_mixed_workload, load_workload, save_workload
 
 _DATASETS = {
@@ -79,6 +86,7 @@ def parse_join_spec(text: str, sample_rows: int, seed: int) -> JoinSpec:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.serve`` argument parser (single + multi mode)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
         description="Serve a query workload through the batched estimation engine")
@@ -134,6 +142,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--result-cache", action="store_true",
                         help="front the fleet with an exact-match result cache "
                              "on canonicalised queries (multi-model mode)")
+    parser.add_argument("--stream", action="store_true",
+                        help="submit queries one at a time through the asyncio "
+                             "streaming client instead of as one batch call "
+                             "(multi-model mode; estimates are identical)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="adapt each relation's micro-batch size to keep "
+                             "dispatch latency under --slo-ms (multi-model "
+                             "mode; requires --slo-ms)")
+    parser.add_argument("--slo-ms", type=float, default=0.0, metavar="MS",
+                        help="target p95 micro-batch dispatch latency in "
+                             "milliseconds (0 = no SLO)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--compare-sequential", action="store_true",
                         help="also run the unbatched baseline and print the speedup")
@@ -269,7 +288,7 @@ def _serve_multi(arguments) -> int:
               f"{', join' if entry['is_join'] else ''})")
     print(f"Fleet model storage: {registry.size_bytes() / 1e6:.2f} MB")
 
-    router = FleetRouter(registry, batch_size=arguments.batch_size,
+    router_kwargs = dict(batch_size=arguments.batch_size,
                          num_samples=arguments.samples,
                          use_cache=not arguments.no_cache,
                          cache_entries=arguments.cache_entries,
@@ -277,6 +296,13 @@ def _serve_multi(arguments) -> int:
                          max_pending=arguments.max_pending or None,
                          overflow=arguments.overflow,
                          result_cache=arguments.result_cache)
+    if arguments.adaptive:
+        router = StreamingRouter(registry, slo_ms=arguments.slo_ms,
+                                 adaptive=True, **router_kwargs)
+        print(f"Adaptive batching on: p95 dispatch SLO {arguments.slo_ms:g} ms, "
+              f"micro-batches in [1, {arguments.batch_size}]")
+    else:
+        router = FleetRouter(registry, **router_kwargs)
     if arguments.result_cache:
         try:
             keys = [canonical_query_key(query, route=router.resolve_route(query))
@@ -289,14 +315,23 @@ def _serve_multi(arguments) -> int:
                   "the result cache (each repeat serves its first dispatched "
                   "occurrence's estimate instead of re-sampling)")
     try:
-        report = router.run(queries)
+        if arguments.stream:
+            report = stream_workload(router, queries)
+        else:
+            report = router.run(queries)
     except RoutingError as error:
         raise SystemExit(f"unroutable query: {error}") from None
     stats = report.stats
 
-    print(f"\nServed {stats.num_queries} queries across {stats.num_models} "
+    mode = "streamed" if arguments.stream else "Served"
+    print(f"\n{mode.capitalize()} {stats.num_queries} queries across "
+          f"{stats.num_models} "
           f"models ({stats.queries_per_second:.1f} queries/s overall, "
           f"cache budget {stats.cache_entries_per_model} entries/cache)")
+    if stats.latency_ms is not None:
+        print(f"  dispatch latency p50/p95/p99: "
+              f"{stats.latency_ms['p50']:.1f} / {stats.latency_ms['p95']:.1f} "
+              f"/ {stats.latency_ms['p99']:.1f} ms")
     if stats.shed:
         print(f"  shed {stats.shed} queries at the admission limit "
               f"(max_pending={arguments.max_pending}, policy=shed)")
@@ -312,6 +347,11 @@ def _serve_multi(arguments) -> int:
         print(f"  {route:<24} {route_stats['num_queries']:>4} queries in "
               f"{route_stats['num_batches']} batches{replicas}, "
               f"{route_stats['queries_per_second']:8.1f} queries/s{hit_rate}")
+        if arguments.adaptive and route_stats["batch_trace"]:
+            trace = route_stats["batch_trace"]
+            print(f"  {'':<24} p95 {route_stats['latency_ms']['p95']:.1f} ms, "
+                  f"batch size {trace[0]} -> {trace[-1]} "
+                  f"(min {min(trace)}, {len(trace) - 1} dispatches)")
 
     document = {"fleet": stats.as_dict(),
                 "estimates": [result.selectivity for result in report.results],
@@ -369,6 +409,7 @@ def _serve_multi(arguments) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; validates flag combinations and runs the right mode."""
     arguments = build_parser().parse_args(argv)
     if arguments.join and not arguments.tables:
         raise SystemExit("--join requires --tables (multi-model mode)")
@@ -378,6 +419,9 @@ def main(argv: list[str] | None = None) -> int:
             ("--max-pending", arguments.max_pending != 0),
             ("--overflow", arguments.overflow != "block"),
             ("--result-cache", arguments.result_cache),
+            ("--stream", arguments.stream),
+            ("--adaptive", arguments.adaptive),
+            ("--slo-ms", arguments.slo_ms != 0.0),
         ) if used]
         if fleet_flags:
             raise SystemExit(f"{', '.join(fleet_flags)} require(s) --tables "
@@ -389,6 +433,14 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.overflow == "shed" and arguments.max_pending == 0:
         raise SystemExit("--overflow shed requires --max-pending: with an "
                          "unbounded queue nothing can ever be shed")
+    if arguments.slo_ms < 0:
+        raise SystemExit("--slo-ms must be non-negative (0 = no SLO)")
+    if arguments.adaptive and arguments.slo_ms == 0.0:
+        raise SystemExit("--adaptive requires --slo-ms: the controller needs "
+                         "a latency target to steer the batch size towards")
+    if arguments.slo_ms > 0.0 and not arguments.adaptive:
+        raise SystemExit("--slo-ms does nothing without --adaptive: no "
+                         "controller would enforce the target (add --adaptive)")
     if arguments.tables:
         return _serve_multi(arguments)
     return _serve_single(arguments)

@@ -53,6 +53,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total prefix lookups: hits plus misses."""
         return self.hits + self.misses
 
     @property
@@ -61,6 +62,7 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict:
+        """Plain-dict form of the counters, ready for JSON serialisation."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -113,6 +115,7 @@ class ConditionalProbCache:
             self.stats.evictions += 1
 
     def clear(self) -> None:
+        """Drop every cached distribution (counters are left untouched)."""
         self._entries.clear()
 
 
@@ -185,12 +188,15 @@ class CachedConditionalModel:
     # -- protocol delegation ------------------------------------------- #
     @property
     def stats(self) -> CacheStats:
+        """Hit/miss counters of the underlying conditional cache."""
         return self.cache.stats
 
     def domain_sizes(self) -> list[int]:
+        """Per-column domain sizes of the wrapped model (protocol delegate)."""
         return self.model.domain_sizes()
 
     def log_prob(self, codes: np.ndarray) -> np.ndarray:
+        """Joint log-likelihood of encoded rows (protocol delegate, uncached)."""
         return self.model.log_prob(codes)
 
     def _evaluate(self, column_index: int, codes: np.ndarray) -> np.ndarray:
@@ -204,6 +210,19 @@ class CachedConditionalModel:
 
     # ------------------------------------------------------------------ #
     def conditional_probs(self, column_index: int, codes: np.ndarray) -> np.ndarray:
+        """Per-row distributions of one column, served through the prefix cache.
+
+        Args:
+            column_index: The column (in storage order) being distributed.
+            codes: ``(rows, columns)`` dictionary-encoded inputs; only the
+                columns preceding ``column_index`` in the autoregressive
+                order may influence the result.
+
+        Returns:
+            ``(rows, domain_size)`` array of conditional probabilities, equal
+            to the wrapped model's output (cache hits are exact, never
+            approximations).
+        """
         codes = np.asarray(codes, dtype=np.int64)
         num_rows = codes.shape[0]
         domain = self.model.domain_sizes()[column_index]
@@ -327,6 +346,7 @@ class ResultCacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total result lookups: hits plus misses."""
         return self.hits + self.misses
 
     @property
@@ -335,6 +355,7 @@ class ResultCacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict:
+        """Plain-dict form of the counters, ready for JSON serialisation."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -394,4 +415,5 @@ class ResultCache:
             self.stats.evictions += 1
 
     def clear(self) -> None:
+        """Drop every cached result (counters are left untouched)."""
         self._entries.clear()

@@ -78,9 +78,11 @@ class EngineStats:
 
     @property
     def queries_per_second(self) -> float:
+        """Served queries over summed batch-dispatch time (0 when idle)."""
         return self.num_queries / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     def as_dict(self) -> dict:
+        """Plain-dict form of the stats, ready for JSON serialisation."""
         return {
             "num_queries": self.num_queries,
             "num_batches": self.num_batches,
@@ -102,10 +104,12 @@ class EngineReport:
 
     @property
     def selectivities(self) -> np.ndarray:
+        """Per-query selectivity estimates, in submission-index order."""
         return np.asarray([result.selectivity for result in self.results])
 
     @property
     def cardinalities(self) -> np.ndarray:
+        """Per-query cardinality estimates, in submission-index order."""
         return np.asarray([result.cardinality for result in self.results])
 
 
@@ -146,19 +150,30 @@ class EstimationEngine:
         private one (``cache_entries`` is then ignored).  Replica engines
         over the same model share one group-wide cache this way — their
         conditionals are identical, so pooling beats fragmenting the budget.
+    batch_hook:
+        Optional callable invoked with each :class:`BatchRecord` right after
+        its micro-batch dispatches.  The adaptive batch controller
+        (:class:`repro.serve.stream.AdaptiveBatchController`) observes
+        dispatch latencies through this hook and retunes ``batch_size``
+        between dispatches; mutating ``batch_size`` from the hook affects
+        when the *next* micro-batch fills, never the numbers it computes.
+        Also assignable after construction via the ``batch_hook`` attribute.
     """
 
     def __init__(self, estimator, *, batch_size: int = 32,
                  num_samples: int | None = None, use_cache: bool = True,
                  cache_entries: int = 262144, seed: int = 0,
                  result_sink=None,
-                 cache: ConditionalProbCache | None = None) -> None:
+                 cache: ConditionalProbCache | None = None,
+                 batch_hook=None) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         self.estimator = estimator
         self.batch_size = batch_size
         self.seed = seed
         self._result_sink = result_sink
+        #: Per-dispatch observer, see the ``batch_hook`` parameter above.
+        self.batch_hook = batch_hook
         if num_samples is None:
             config = getattr(estimator, "config", None)
             num_samples = getattr(config, "progressive_samples", None) or 1000
@@ -298,9 +313,11 @@ class EstimationEngine:
             self._results.append(result)
             if self._result_sink is not None:
                 self._result_sink(result)
-        self._batches.append(BatchRecord(batch_index=batch_index,
-                                         num_queries=len(batch),
-                                         latency_ms=latency_ms))
+        record = BatchRecord(batch_index=batch_index, num_queries=len(batch),
+                             latency_ms=latency_ms)
+        self._batches.append(record)
+        if self.batch_hook is not None:
+            self.batch_hook(record)
 
     def _dispatch_batched(self, batch: list[tuple[int, Query]]) -> np.ndarray:
         fitted = getattr(self.estimator, "_fitted", True)

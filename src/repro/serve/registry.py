@@ -64,6 +64,7 @@ class ModelRegistry:
         self._fitted: set[str] = set()
         self._joins: dict[str, JoinSpec] = {}
         self._replicas: dict[str, int] = {}
+        self._slos: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -71,7 +72,8 @@ class ModelRegistry:
     def register_table(self, table: Table, *, name: str | None = None,
                        config: NaruConfig | None = None,
                        estimator: CardinalityEstimator | None = None,
-                       replicas: int = 1) -> str:
+                       replicas: int = 1,
+                       slo_ms: float | None = None) -> str:
         """Register a base table as a named relation and return its name.
 
         Parameters
@@ -99,12 +101,21 @@ class ModelRegistry:
             slice of the fleet cache budget, so a hot relation stops
             head-of-line-blocking the fleet.  Tune later with
             :meth:`set_replicas`.
+        slo_ms:
+            Per-relation dispatch-latency SLO in milliseconds (``None`` =
+            no relation-level target).  An adaptive
+            :class:`repro.serve.stream.StreamingRouter` uses this as the
+            relation's p95 target, overriding its router-wide ``slo_ms`` —
+            so a latency-critical relation can run a tighter budget than the
+            rest of the fleet.  Tune later with :meth:`set_slo`.
         """
         name = name or table.name
         if name in self._relations:
             raise ValueError(f"relation {name!r} is already registered")
         if replicas < 1:
             raise ValueError(f"replicas must be at least 1, got {replicas}")
+        if slo_ms is not None and slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
         if estimator is not None:
             if estimator.table is not table:
                 raise ValueError(
@@ -116,6 +127,8 @@ class ModelRegistry:
                     "registering (the registry only fits models it builds)")
         self._relations[name] = table
         self._replicas[name] = replicas
+        if slo_ms is not None:
+            self._slos[name] = float(slo_ms)
         if estimator is not None:
             self._estimators[name] = estimator
             self._fitted.add(name)
@@ -125,20 +138,22 @@ class ModelRegistry:
 
     def register_join(self, spec: JoinSpec, *,
                       config: NaruConfig | None = None,
-                      replicas: int = 1) -> str:
+                      replicas: int = 1,
+                      slo_ms: float | None = None) -> str:
         """Build a join relation from registered inputs and register it.
 
         The spec's ``left``/``right`` names are resolved against the
         relations registered so far; the resulting table (materialised or
         sampled, per ``spec.how``) becomes a first-class named relation that
-        routes, budgets and replicates exactly like a base table.  Returns
-        the relation name.
+        routes, budgets, replicates and carries a latency SLO exactly like a
+        base table.  Returns the relation name.
         """
         name = spec.relation_name
         if name in self._relations:
             raise ValueError(f"relation {name!r} is already registered")
         table = spec.build(self._relations)
-        self.register_table(table, name=name, config=config, replicas=replicas)
+        self.register_table(table, name=name, config=config, replicas=replicas,
+                            slo_ms=slo_ms)
         self._joins[name] = spec
         return name
 
@@ -154,6 +169,21 @@ class ModelRegistry:
         if replicas < 1:
             raise ValueError(f"replicas must be at least 1, got {replicas}")
         self._replicas[name] = replicas
+
+    def set_slo(self, name: str, slo_ms: float | None) -> None:
+        """Change (or clear, with ``None``) a relation's dispatch-latency SLO.
+
+        Adaptive routers read the SLO when they materialise the relation's
+        replica group; routers already serving the relation keep the
+        controller they built.
+        """
+        self.relation(name)  # raise uniformly for unknown names
+        if slo_ms is None:
+            self._slos.pop(name, None)
+            return
+        if slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+        self._slos[name] = float(slo_ms)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -190,6 +220,11 @@ class ModelRegistry:
         """Number of serving-engine replicas registered for one relation."""
         self.relation(name)
         return self._replicas.get(name, 1)
+
+    def slo_ms(self, name: str) -> float | None:
+        """The relation's dispatch-latency SLO in ms (``None`` = unset)."""
+        self.relation(name)
+        return self._slos.get(name)
 
     def serving_rows(self, name: str) -> int:
         """The row count estimates for one relation scale by.
@@ -267,6 +302,7 @@ class ModelRegistry:
                 "fitted": name in self._fitted,
                 "is_join": name in self._joins,
                 "replicas": self._replicas.get(name, 1),
+                "slo_ms": self._slos.get(name),
             }
         return report
 

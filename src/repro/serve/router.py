@@ -59,7 +59,7 @@ from .registry import ModelRegistry
 
 __all__ = ["RoutingError", "AdmissionError", "RoutedResult", "FleetStats",
            "FleetReport", "ReplicaGroup", "FleetRouter",
-           "run_fleet_sequential"]
+           "run_fleet_sequential", "latency_percentiles"]
 
 #: Overflow policies of the per-group admission controller.
 _OVERFLOW_POLICIES = ("block", "shed")
@@ -75,6 +75,35 @@ def _validate_admission(max_pending: int | None, overflow: str) -> None:
     if overflow == "shed" and max_pending is None:
         raise ValueError("overflow='shed' requires max_pending: with an "
                          "unbounded queue nothing can ever be shed")
+
+
+def latency_percentiles(latencies_ms, weights=None) -> dict:
+    """p50/p95/p99 of a set of dispatch latencies, optionally query-weighted.
+
+    Args:
+        latencies_ms: Per-micro-batch dispatch latencies in milliseconds.
+        weights: Optional per-batch weights (typically the batch's query
+            count, so every query contributes the latency of the dispatch
+            that served it — the quantity a per-query latency SLO is about).
+            ``None`` weights every batch equally.
+
+    Returns:
+        ``{"p50": ..., "p95": ..., "p99": ...}`` in milliseconds; all zeros
+        when ``latencies_ms`` is empty, so reports of empty workload scopes
+        stay well-formed.
+    """
+    latencies = np.asarray(list(latencies_ms), dtype=float)
+    if latencies.size == 0:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    if weights is not None:
+        counts = np.asarray(list(weights), dtype=int)
+        if counts.shape != latencies.shape:
+            raise ValueError("weights and latencies_ms must have equal length")
+        latencies = np.repeat(latencies, np.maximum(counts, 0))
+        if latencies.size == 0:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    return {f"p{int(q * 100)}": float(np.quantile(latencies, q))
+            for q in (0.50, 0.95, 0.99)}
 
 
 class RoutingError(LookupError):
@@ -145,10 +174,16 @@ class FleetStats:
     #: in :attr:`FleetReport.result_cache_hits` and the per-route
     #: ``result_cache_hits`` entries.
     result_cache: dict | None = None
+    #: Fleet-wide p50/p95/p99 dispatch latency (ms), query-weighted: every
+    #: query contributes the latency of the micro-batch that served it.
+    #: Cache-served queries never touch an engine and are excluded.
+    latency_ms: dict | None = None
     #: Route name -> aggregated group stats: the union of the engine-stats
     #: keys (query/batch counts, QPS, the group cache's counters) plus
-    #: ``num_replicas``, ``shed``, ``result_cache_hits`` and a ``replicas``
-    #: list holding each replica engine's own ``EngineStats.as_dict()``.
+    #: ``num_replicas``, ``shed``, ``result_cache_hits``, per-route
+    #: ``latency_ms`` percentiles, the adaptive controller's ``batch_trace``
+    #: (``None`` on fixed-batch routers) and a ``replicas`` list holding each
+    #: replica engine's own ``EngineStats.as_dict()``.
     #: Cache counters live at route level only — replicas share one group
     #: cache, so the per-replica dicts carry ``cache=None``.
     routes: dict[str, dict] = field(default_factory=dict)
@@ -166,6 +201,7 @@ class FleetStats:
         return self.num_queries / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     def as_dict(self) -> dict:
+        """Plain-dict form of the stats, ready for JSON serialisation."""
         return {
             "num_queries": self.num_queries,
             "num_models": self.num_models,
@@ -175,6 +211,7 @@ class FleetStats:
             "cache_entries_per_model": self.cache_entries_per_model,
             "shed": self.shed,
             "result_cache": self.result_cache,
+            "latency_ms": self.latency_ms,
             "routes": self.routes,
         }
 
@@ -188,18 +225,37 @@ class FleetReport:
     #: Route name -> the full per-replica :class:`EngineReport` list.
     routes: dict[str, list[EngineReport]] = field(default_factory=dict)
     stats: FleetStats = field(default_factory=FleetStats)
+    #: Lazy index -> route map backing :meth:`route_of` (results are frozen
+    #: after construction, so it is built once on first use).
+    _route_by_index: dict[int, str] | None = field(default=None, repr=False,
+                                                   compare=False)
 
     @property
     def selectivities(self) -> np.ndarray:
+        """Per-query selectivity estimates, in global submission order."""
         return np.asarray([result.selectivity for result in self.results])
 
     @property
     def cardinalities(self) -> np.ndarray:
+        """Per-query cardinality estimates, in global submission order."""
         return np.asarray([result.cardinality for result in self.results])
 
     def route_of(self, index: int) -> str:
-        """The relation that served the query at one global index."""
-        return self.results[index].route
+        """The relation that served the query with one global index.
+
+        Looked up by the result's ``index`` field, not list position: under
+        :func:`repro.serve.stream.stream_workload` a shed query leaves its
+        position-keyed index unused, so indices need not be dense.  Raises
+        ``KeyError`` for an index this report holds no result for.
+        """
+        if self._route_by_index is None:
+            self._route_by_index = {result.index: result.route
+                                    for result in self.results}
+        try:
+            return self._route_by_index[index]
+        except KeyError:
+            raise KeyError(f"no result with global index {index} in this "
+                           "report") from None
 
     @property
     def result_cache_hits(self) -> int:
@@ -224,10 +280,12 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
                    cache_entries_per_model: int,
                    cached_results: list[RoutedResult] | None = None,
                    shed_by_route: dict[str, int] | None = None,
-                   result_cache_stats: dict | None = None) -> FleetReport:
+                   result_cache_stats: dict | None = None,
+                   batch_traces: dict[str, list[int]] | None = None) -> FleetReport:
     """Fold per-replica reports into one fleet report in global index order."""
     cached_results = cached_results or []
     shed_by_route = shed_by_route or {}
+    batch_traces = batch_traces or {}
     merged = [
         RoutedResult(index=result.index, route=route, query=result.query,
                      selectivity=result.selectivity,
@@ -243,10 +301,14 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
     for result in cached_results:
         cached_by_route[result.route] = cached_by_route.get(result.route, 0) + 1
     routes_stats: dict[str, dict] = {}
+    all_batches = []
     for route, reports in route_reports.items():
         replica_stats = [report.stats for report in reports]
         elapsed_s = sum(stats.elapsed_s for stats in replica_stats)
         num_queries = sum(stats.num_queries for stats in replica_stats)
+        route_batches = [record for report in reports
+                         for record in report.batches]
+        all_batches.extend(route_batches)
         routes_stats[route] = {
             "num_queries": num_queries,
             "num_batches": sum(stats.num_batches for stats in replica_stats),
@@ -263,6 +325,10 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
                          for stats in replica_stats],
             "shed": shed_by_route.get(route, 0),
             "result_cache_hits": cached_by_route.get(route, 0),
+            "latency_ms": latency_percentiles(
+                [record.latency_ms for record in route_batches],
+                weights=[record.num_queries for record in route_batches]),
+            "batch_trace": batch_traces.get(route),
         }
     stats = FleetStats(
         num_queries=len(merged),
@@ -272,6 +338,9 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
         cache_entries_per_model=cache_entries_per_model,
         shed=sum(shed_by_route.values()),
         result_cache=result_cache_stats,
+        latency_ms=latency_percentiles(
+            [record.latency_ms for record in all_batches],
+            weights=[record.num_queries for record in all_batches]),
         routes=routes_stats,
     )
     return FleetReport(results=merged, routes=route_reports, stats=stats)
@@ -422,6 +491,13 @@ class FleetRouter:
         model time; entries are stored the moment their micro-batch
         dispatches, so repeats hit inside a workload scope as well as on
         replays of it.
+    on_result:
+        Optional callable invoked with each :class:`RoutedResult` the moment
+        it is produced — at micro-batch dispatch for model-served queries, at
+        submission for result-cache hits.  The streaming frontend
+        (:class:`repro.serve.stream.AsyncFleetClient`) resolves its futures
+        through this hook; it is also assignable after construction via the
+        ``on_result`` attribute.
     """
 
     def __init__(self, registry: ModelRegistry, *, batch_size: int = 32,
@@ -429,7 +505,7 @@ class FleetRouter:
                  cache_entries: int = 262144, seed: int = 0,
                  default_route: str | None = None,
                  max_pending: int | None = None, overflow: str = "block",
-                 result_cache: bool = False) -> None:
+                 result_cache: bool = False, on_result=None) -> None:
         if len(registry) == 0:
             raise ValueError("the registry has no relations to serve")
         if batch_size < 1:
@@ -460,6 +536,8 @@ class FleetRouter:
         self.max_pending = max_pending
         self.overflow = overflow
         self._groups: dict[str, ReplicaGroup] = {}
+        #: Per-result observer, see the ``on_result`` parameter above.
+        self.on_result = on_result
         self._result_cache = (ResultCache(self.cache_entries_per_model)
                               if result_cache else None)
         self._cached_results: list[RoutedResult] = []
@@ -475,11 +553,26 @@ class FleetRouter:
         """The fleet-wide result cache (``None`` when disabled)."""
         return self._result_cache
 
+    @property
+    def next_index(self) -> int:
+        """The global index :meth:`submit` will assign to its next query.
+
+        The streaming frontend registers a future under this index *before*
+        submitting, because submission may dispatch (and therefore resolve)
+        synchronously.
+        """
+        return self._next_index
+
     def _feed_result(self, route: str, result) -> None:
         """Store one dispatched estimate in the result cache (first in wins)."""
         key = canonical_query_key(result.query, route=route)
         if key not in self._result_cache:
             self._result_cache.put(key, result.selectivity)
+
+    def _emit(self, result: RoutedResult) -> None:
+        """Hand one finished result to the ``on_result`` observer, if any."""
+        if self.on_result is not None:
+            self.on_result(result)
 
     def resolve_route(self, query: Query) -> str:
         """The relation a query routes to; raises :class:`RoutingError` if none."""
@@ -510,10 +603,23 @@ class FleetRouter:
                 replicas = self.registry.replicas(route)
                 self._replica_counts[route] = replicas
             estimator = self.registry.estimator(route)
-            sink = None
-            if self._result_cache is not None:
-                def sink(result, route=route):
-                    self._feed_result(route, result)
+
+            def make_sink(replica, route=route):
+                # One closure per replica: dispatched results feed the fleet
+                # result cache (when enabled) and the on_result observer,
+                # tagged with the replica that computed them.
+                def sink(result):
+                    if self._result_cache is not None:
+                        self._feed_result(route, result)
+                    if self.on_result is not None:
+                        self._emit(RoutedResult(
+                            index=result.index, route=route,
+                            query=result.query,
+                            selectivity=result.selectivity,
+                            cardinality=result.cardinality,
+                            batch_index=result.batch_index, replica=replica))
+                return sink
+
             # One conditional cache for the whole group: the replicas share
             # the relation's one model, so the group pools its replicas'
             # budget slices instead of fragmenting hot prefixes N ways.
@@ -525,29 +631,45 @@ class FleetRouter:
                     estimator, batch_size=self.batch_size,
                     num_samples=self.num_samples, use_cache=self.use_cache,
                     cache_entries=self.cache_entries_per_model, seed=self.seed,
-                    result_sink=sink, cache=shared_cache)
-                for _ in range(replicas)
+                    result_sink=make_sink(replica), cache=shared_cache)
+                for replica in range(replicas)
             ]
             group = ReplicaGroup(route, engines, max_pending=self.max_pending,
                                  overflow=self.overflow, cache=shared_cache)
             self._groups[route] = group
+            self._group_created(route, group)
         return group
+
+    def _group_created(self, route: str, group: ReplicaGroup) -> None:
+        """Subclass hook: a replica group was just materialised.
+
+        :class:`repro.serve.stream.StreamingRouter` attaches its adaptive
+        batch controller here; the base router does nothing.
+        """
 
     def engine(self, route: str, replica: int = 0) -> EstimationEngine:
         """One replica engine of a route (replica 0 by default)."""
         return self.group(route).engines[replica]
 
     # ------------------------------------------------------------------ #
-    def submit(self, query: Query) -> str:
+    def submit(self, query: Query, index: int | None = None) -> str:
         """Route and enqueue one query; returns the route it was assigned.
 
         The query's random stream is keyed by its global submission index, so
         its estimate is independent of what else is in flight and of which
-        replica serves it.  With the result cache enabled, an exact repeat of
-        an already answered query is served from memory (it still consumes an
-        index and appears in the report, flagged ``replica=-1``).  Raises
-        :class:`RoutingError` or :class:`AdmissionError` (both without
-        consuming an index) when the query cannot be routed or admitted.
+        replica serves it.  ``index`` overrides the assigned position: a
+        streaming producer that numbered its queries up front can submit them
+        in *any* arrival order and still get the estimates of the in-order
+        run (indices must be unique within a workload scope — the caller owns
+        that contract; :class:`repro.serve.stream.AsyncFleetClient` enforces
+        it).  Left at ``None``, queries are numbered in submission order,
+        exactly as before.
+
+        With the result cache enabled, an exact repeat of an already answered
+        query is served from memory (it still consumes an index and appears
+        in the report, flagged ``replica=-1``).  Raises :class:`RoutingError`
+        or :class:`AdmissionError` (both without consuming an index) when the
+        query cannot be routed or admitted.
         """
         route = self.resolve_route(query)
         if self._result_cache is not None:
@@ -556,19 +678,24 @@ class FleetRouter:
             key = canonical_query_key(query, route=route)
             selectivity = self._result_cache.get(key)
             if selectivity is not None:
-                index = self._next_index
-                self._next_index += 1
+                if index is None:
+                    index = self._next_index
+                self._next_index = max(self._next_index, index + 1)
                 num_rows = self.registry.serving_rows(route)
-                self._cached_results.append(RoutedResult(
+                result = RoutedResult(
                     index=index, route=route, query=query,
                     selectivity=selectivity,
                     cardinality=selectivity * num_rows,
-                    batch_index=-1, replica=-1))
+                    batch_index=-1, replica=-1)
+                self._cached_results.append(result)
                 self._unreported_cached += 1
+                self._emit(result)
                 return route
         group = self.group(route)
-        group.submit(query, index=self._next_index)  # may raise AdmissionError
-        self._next_index += 1
+        if index is None:
+            index = self._next_index
+        group.submit(query, index=index)  # may raise AdmissionError
+        self._next_index = max(self._next_index, index + 1)
         return route
 
     def flush(self) -> None:
@@ -587,6 +714,22 @@ class FleetRouter:
         ``shed`` overflow policy, refused queries are counted per route in
         the report instead of aborting the run.
         """
+        self._begin_scope()
+        for query in queries:
+            try:
+                self.submit(query)
+            except AdmissionError:
+                continue  # counted in the group's shed tally
+        self.flush()
+        return self.report()
+
+    def _begin_scope(self) -> None:
+        """Start a fresh workload scope: reset indices, keep the caches.
+
+        Refuses to run while submitted queries are pending or cache-served
+        results are unreported — their results would be silently dropped.
+        Shared by :meth:`run` and :func:`repro.serve.stream.stream_workload`.
+        """
         if any(group.pending for group in self._groups.values()) \
                 or self._unreported_cached:
             raise RuntimeError("submitted queries are still pending or "
@@ -596,13 +739,6 @@ class FleetRouter:
             group.reset()
         self._cached_results = []
         self._next_index = 0
-        for query in queries:
-            try:
-                self.submit(query)
-            except AdmissionError:
-                continue  # counted in the group's shed tally
-        self.flush()
-        return self.report()
 
     def report(self) -> FleetReport:
         """Merged snapshot of everything served so far, in submission order.
@@ -623,7 +759,12 @@ class FleetRouter:
             cached_results=list(self._cached_results),
             shed_by_route={route: group.shed
                            for route, group in self._groups.items()},
-            result_cache_stats=result_cache_stats)
+            result_cache_stats=result_cache_stats,
+            batch_traces=self._batch_traces())
+
+    def _batch_traces(self) -> dict[str, list[int]]:
+        """Per-route adaptive batch-size traces (empty on fixed routers)."""
+        return {}
 
 
 def run_fleet_sequential(registry: ModelRegistry, queries: list[Query], *,

@@ -51,7 +51,8 @@ from ..query.generator import WorkloadGenerator
 from ..query.predicates import Operator, Predicate, Query
 
 __all__ = ["save_workload", "load_workload", "queries_to_specs",
-           "specs_to_queries", "generate_mixed_workload"]
+           "specs_to_queries", "generate_mixed_workload",
+           "generate_bursty_workload"]
 
 _FORMAT_VERSION = 1
 _MULTI_FORMAT_VERSION = 2
@@ -190,6 +191,73 @@ def generate_mixed_workload(relations: Mapping[str, Table], num_queries: int, *,
         for offset, bundle in enumerate(per_relation)
         for position in range(len(bundle)))
     return [per_relation[offset][position] for _, offset, position in slots]
+
+
+def generate_bursty_workload(relations: Mapping[str, Table], num_queries: int, *,
+                             hot: str, burst_size: int = 8,
+                             min_filters: int = 2, max_filters: int = 5,
+                             seed: int = 0,
+                             weights: Mapping[str, float] | None = None) -> list[Query]:
+    """Generate a workload whose hot relation arrives in back-to-back bursts.
+
+    The *queries* are exactly those of :func:`generate_mixed_workload` with
+    the same ``relations``/``num_queries``/``weights``/``seed`` (each
+    relation draws from its own deterministic generator, so the two builders
+    produce the same multiset) — only the **arrival order** differs.  Where
+    the mixed builder dilutes every relation evenly through the workload,
+    this one clusters the hot relation's queries into uninterrupted runs of
+    ``burst_size``, each burst followed by a thin trickle of the other
+    relations: the adversarial arrival pattern for a fixed large micro-batch,
+    which fills instantly during a burst and pays a full-batch dispatch
+    latency on every one.  The ``serve_stream`` benchmark feeds this to a
+    fixed-batch and an SLO-adaptive router and compares their p95 dispatch
+    latencies.
+
+    Args:
+        relations: Name -> :class:`~repro.data.table.Table` of every
+            relation, as for :func:`generate_mixed_workload`.
+        num_queries: Total query count, split across relations evenly or by
+            ``weights``.
+        hot: Name of the bursting relation (must be in ``relations``).
+        burst_size: Queries per uninterrupted hot-relation run (>= 1).
+        min_filters / max_filters: Per-query predicate count bounds.
+        seed: Base seed; relation ``i`` draws from ``seed + i`` exactly like
+            the mixed builder.
+        weights: Optional relation -> relative share of ``num_queries``;
+            give the hot relation a majority share to make the bursts long.
+
+    Returns:
+        The table-qualified workload in arrival order.
+
+    Raises:
+        ValueError: Unknown ``hot`` relation or non-positive ``burst_size``.
+    """
+    if hot not in relations:
+        raise ValueError(f"hot relation {hot!r} is not one of "
+                         f"{', '.join(relations)}")
+    if burst_size < 1:
+        raise ValueError("burst_size must be at least 1")
+    mixed = generate_mixed_workload(relations, num_queries,
+                                    min_filters=min_filters,
+                                    max_filters=max_filters, seed=seed,
+                                    weights=weights)
+    hot_queries = [query for query in mixed if query.table == hot]
+    cold_queries = [query for query in mixed if query.table != hot]
+    # Interleave bursts with a trickle: after each full burst of the hot
+    # relation, emit a proportional slice of the cold queries so every
+    # relation still finishes by the end of the workload.
+    bursts = [hot_queries[start:start + burst_size]
+              for start in range(0, len(hot_queries), burst_size)]
+    arranged: list[Query] = []
+    cold_cursor = 0
+    for position, burst in enumerate(bursts):
+        arranged.extend(burst)
+        cold_until = round(len(cold_queries) * (position + 1) / len(bursts)) \
+            if bursts else 0
+        arranged.extend(cold_queries[cold_cursor:cold_until])
+        cold_cursor = cold_until
+    arranged.extend(cold_queries[cold_cursor:])
+    return arranged
 
 
 def save_workload(path: str, queries: list[Query],

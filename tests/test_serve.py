@@ -437,3 +437,60 @@ class TestServeCLI:
             serve_main(["--tables", "users", "--max-pending", "-1"])
         with pytest.raises(SystemExit, match="shed requires --max-pending"):
             serve_main(["--tables", "users", "--overflow", "shed"])
+
+    def test_streaming_flags_require_tables_and_slo(self):
+        with pytest.raises(SystemExit, match="--stream.*--tables"):
+            serve_main(["--stream"])
+        with pytest.raises(SystemExit, match="--adaptive.*--tables"):
+            serve_main(["--adaptive"])
+        with pytest.raises(SystemExit, match="--slo-ms.*--tables"):
+            serve_main(["--slo-ms", "50"])
+        with pytest.raises(SystemExit, match="--adaptive requires --slo-ms"):
+            serve_main(["--tables", "users", "--adaptive"])
+        with pytest.raises(SystemExit, match="without --adaptive"):
+            serve_main(["--tables", "users", "--slo-ms", "50"])
+        with pytest.raises(SystemExit, match="non-negative"):
+            serve_main(["--tables", "users", "--slo-ms", "-5"])
+
+    def test_stream_adaptive_end_to_end(self, tmp_path, capsys):
+        """--stream --adaptive serves the workload through the asyncio client
+        with SLO-steered batch sizes and reports latency percentiles plus the
+        per-route batch trace."""
+        report_path = os.path.join(tmp_path, "stream.json")
+        exit_code = serve_main([
+            "--tables", "users", "sessions",
+            "--rows", "400", "--num-queries", "8", "--epochs", "1",
+            "--samples", "40", "--batch-size", "4", "--seed", "5",
+            "--stream", "--adaptive", "--slo-ms", "0.01",
+            "--json", report_path,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Adaptive batching on" in output
+        assert "dispatch latency p50/p95/p99" in output
+        assert "batch size" in output
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert report["fleet"]["num_queries"] == 8
+        assert set(report["fleet"]["latency_ms"]) == {"p50", "p95", "p99"}
+        for route_stats in report["fleet"]["routes"].values():
+            trace = route_stats["batch_trace"]
+            assert trace[0] == 4
+            # The impossibly tight SLO forces every controller to shrink.
+            assert min(trace) < 4
+
+    def test_stream_without_adaptive_matches_batched_run(self, tmp_path):
+        """--stream alone changes the submission path, never the estimates."""
+        batch_path = os.path.join(tmp_path, "batch.json")
+        stream_path = os.path.join(tmp_path, "stream.json")
+        base = ["--tables", "users", "sessions", "--rows", "400",
+                "--num-queries", "8", "--epochs", "1", "--samples", "40",
+                "--batch-size", "3", "--seed", "5"]
+        assert serve_main(base + ["--json", batch_path]) == 0
+        assert serve_main(base + ["--stream", "--json", stream_path]) == 0
+        with open(batch_path) as handle:
+            batch = json.load(handle)
+        with open(stream_path) as handle:
+            stream = json.load(handle)
+        assert stream["estimates"] == batch["estimates"]
+        assert stream["routes"] == batch["routes"]

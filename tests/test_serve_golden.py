@@ -9,10 +9,18 @@ intentional.
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
+import pytest
 
 import golden_serve
-from repro.serve import load_workload
+from repro.serve import (
+    FleetRouter,
+    StreamingRouter,
+    load_workload,
+    stream_workload,
+)
 
 _REGEN_HINT = (
     "Serving output drifted from the golden fixture under tests/data/. "
@@ -42,6 +50,29 @@ def test_golden_workload_estimates_have_not_drifted(golden_serve_fixture):
         report.selectivities, np.asarray(expected["selectivities"]),
         rtol=1e-6, atol=1e-9,
         err_msg="Estimates for the golden workload drifted. " + _REGEN_HINT)
+
+
+@pytest.mark.parametrize("batch_size", (1, 64))
+def test_golden_workload_streaming_equals_batch(batch_size):
+    """Streaming determinism, pinned on the golden workload: submitting the
+    queries one at a time through the asyncio client, in a *shuffled* arrival
+    order with pre-assigned indices, produces estimates identical to
+    ``FleetRouter.run`` on the in-order list — at batch_size 1 and 64."""
+    registry = golden_serve.build_fleet()
+    workload = load_workload(golden_serve.WORKLOAD_PATH)
+    batch = FleetRouter(registry, batch_size=batch_size,
+                        num_samples=golden_serve.GOLDEN["num_samples"],
+                        seed=golden_serve.GOLDEN["seed"]).run(workload)
+    order = list(range(len(workload)))
+    random.Random(batch_size).shuffle(order)
+    router = StreamingRouter(registry, batch_size=batch_size,
+                             num_samples=golden_serve.GOLDEN["num_samples"],
+                             seed=golden_serve.GOLDEN["seed"])
+    streamed = stream_workload(router, workload, arrival_order=order)
+    assert [result.index for result in streamed.results] == \
+        list(range(len(workload)))
+    np.testing.assert_allclose(streamed.selectivities, batch.selectivities,
+                               rtol=0.0, atol=1e-12)
 
 
 def test_golden_workload_matches_generator(golden_serve_fixture):

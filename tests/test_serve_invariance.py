@@ -16,6 +16,8 @@ up orders of magnitude above it.
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
 
@@ -25,10 +27,12 @@ from repro.query import Query, WorkloadGenerator
 from repro.serve import (
     FleetRouter,
     ModelRegistry,
+    StreamingRouter,
     generate_mixed_workload,
     load_workload,
     run_fleet_sequential,
     save_workload,
+    stream_workload,
 )
 
 _CONFIG = NaruConfig(epochs=2, hidden_sizes=(16, 16), batch_size=128,
@@ -110,6 +114,52 @@ def test_grid_matches_sequential_baseline(fleet, workload, baseline,
         [result.route for result in baseline.results]
     np.testing.assert_allclose(report.selectivities, baseline.selectivities,
                                rtol=0.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("batch_size", _BATCH_SIZES)
+@pytest.mark.parametrize("replicas", (1, 2))
+@pytest.mark.parametrize("arrival", ["inorder", "shuffled"])
+def test_streaming_grid_matches_sequential_baseline(fleet, workload, baseline,
+                                                    batch_size, replicas,
+                                                    arrival):
+    """Streaming ≡ batch ≡ sequential: submitting the workload one query at a
+    time through the asyncio client — in order or in a shuffled arrival order
+    with pre-assigned indices — reproduces the unbatched baseline for every
+    (batch_size, replicas) cell."""
+    for name in fleet.names:
+        fleet.set_replicas(name, replicas)
+    try:
+        router = StreamingRouter(fleet, batch_size=batch_size,
+                                 num_samples=_SAMPLES, seed=_SEED,
+                                 default_route=_DEFAULT_ROUTE)
+    finally:
+        for name in fleet.names:
+            fleet.set_replicas(name, 1)
+    order = list(range(len(workload)))
+    if arrival == "shuffled":
+        random.Random(13).shuffle(order)
+    report = stream_workload(router, workload, arrival_order=order)
+    assert [result.index for result in report.results] == \
+        list(range(len(workload)))
+    assert [result.route for result in report.results] == \
+        [result.route for result in baseline.results]
+    np.testing.assert_allclose(report.selectivities, baseline.selectivities,
+                               rtol=0.0, atol=1e-12)
+
+
+def test_adaptive_batching_matches_sequential_baseline(fleet, workload,
+                                                       baseline):
+    """An SLO so tight the controller shrinks to batch_size=1 mid-workload
+    still changes no estimate: adaptive batch boundaries are invisible."""
+    router = StreamingRouter(fleet, batch_size=8, num_samples=_SAMPLES,
+                             seed=_SEED, default_route=_DEFAULT_ROUTE,
+                             slo_ms=1e-6, adaptive=True)
+    report = stream_workload(router, workload)
+    np.testing.assert_allclose(report.selectivities, baseline.selectivities,
+                               rtol=0.0, atol=1e-12)
+    # The impossible SLO really did move the batch size mid-workload.
+    assert any(min(stats["batch_trace"]) < 8
+               for stats in report.stats.routes.values())
 
 
 @pytest.mark.parametrize("replicas", _REPLICAS[1:])

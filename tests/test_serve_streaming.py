@@ -1,0 +1,409 @@
+"""Unit tests for the streaming layer: controller, async client, SLO wiring.
+
+The invariance suite (``test_serve_invariance.py``) owns the streaming ≡
+batch grid; this module pins down the component behaviours — the adaptive
+controller's AIMD policy and clamps, the async client's future lifecycle,
+per-relation SLO plumbing through the registry, and the latency-percentile
+helper the reports are built from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import NaruConfig
+from repro.data import make_sessions, make_users
+from repro.query import WorkloadGenerator
+from repro.serve import (
+    AdaptiveBatchController,
+    AdmissionError,
+    AsyncFleetClient,
+    FleetRouter,
+    ModelRegistry,
+    RoutingError,
+    StreamingRouter,
+    generate_bursty_workload,
+    generate_mixed_workload,
+    latency_percentiles,
+    stream_workload,
+)
+
+_CONFIG = NaruConfig(epochs=2, hidden_sizes=(16, 16), batch_size=128,
+                     progressive_samples=50, seed=0)
+_SAMPLES = 50
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """A small fitted two-relation registry shared by the streaming tests."""
+    registry = ModelRegistry(default_config=_CONFIG)
+    registry.register_table(make_users(num_users=80, seed=4))
+    registry.register_table(make_sessions(num_rows=300, num_users=80, seed=5))
+    registry.fit_all()
+    return registry
+
+
+@pytest.fixture(scope="module")
+def workload(fleet):
+    return generate_mixed_workload(
+        {name: fleet.relation(name) for name in fleet.names}, 14,
+        min_filters=1, max_filters=3, seed=7)
+
+
+# --------------------------------------------------------------------------- #
+# AdaptiveBatchController
+# --------------------------------------------------------------------------- #
+def test_controller_shrinks_monotonically_under_violation():
+    controller = AdaptiveBatchController(slo_ms=10.0, max_batch=32)
+    sizes = [controller.observe(100.0) for _ in range(10)]
+    assert sizes[0] < 32  # the very first violation already shrinks
+    assert all(b <= a for a, b in zip(sizes, sizes[1:]))  # never grows
+    assert sizes[-1] == 1  # ...all the way down to min_batch
+    assert controller.shrinks >= 5
+    assert controller.trace[0] == 32
+
+
+def test_controller_clamps_at_both_bounds():
+    controller = AdaptiveBatchController(slo_ms=10.0, max_batch=8, min_batch=2)
+    for _ in range(20):
+        assert controller.observe(1000.0) >= 2
+    assert controller.batch_size == 2
+    for _ in range(50):
+        assert controller.observe(0.01) <= 8
+    assert controller.batch_size == 8  # grown back, additively, to the cap
+
+
+def test_controller_disabled_is_fixed():
+    controller = AdaptiveBatchController(slo_ms=None, max_batch=16)
+    for latency in (0.01, 1000.0, 5.0, 99999.0):
+        assert controller.observe(latency) == 16
+    assert not controller.enabled
+    assert controller.target_ms is None
+    assert list(controller.trace) == [16] * 5
+    assert controller.shrinks == controller.grows == 0
+    assert controller.ewma_ms is not None  # it still tracks, for reporting
+
+
+def test_controller_does_not_grow_above_target_band():
+    controller = AdaptiveBatchController(slo_ms=10.0, max_batch=32,
+                                         headroom=0.8, grow_below=0.5)
+    controller.observe(100.0)  # shrink once
+    size = controller.batch_size
+    # EWMA inside [grow_below * target, target]: hold, neither grow nor shrink.
+    controller.ewma_ms = 6.0
+    assert controller.observe(6.0) == size
+
+
+def test_controller_validates_arguments():
+    with pytest.raises(ValueError, match="slo_ms"):
+        AdaptiveBatchController(slo_ms=0.0)
+    with pytest.raises(ValueError, match="min_batch"):
+        AdaptiveBatchController(min_batch=0)
+    with pytest.raises(ValueError, match="max_batch"):
+        AdaptiveBatchController(max_batch=2, min_batch=4)
+    with pytest.raises(ValueError, match="alpha"):
+        AdaptiveBatchController(alpha=0.0)
+    with pytest.raises(ValueError, match="headroom"):
+        AdaptiveBatchController(headroom=1.5)
+    with pytest.raises(ValueError, match="grow_below"):
+        AdaptiveBatchController(grow_below=1.0)
+    with pytest.raises(ValueError, match="initial"):
+        AdaptiveBatchController(max_batch=8, initial=9)
+    with pytest.raises(ValueError, match="trace_limit"):
+        AdaptiveBatchController(trace_limit=0)
+
+
+def test_controller_trace_is_bounded():
+    controller = AdaptiveBatchController(slo_ms=10.0, max_batch=4,
+                                         trace_limit=8)
+    for _ in range(50):
+        controller.observe(100.0)
+    assert len(controller.trace) == 8      # ring buffer, not unbounded
+    assert controller.shrinks >= 2         # cumulative counters survive
+
+
+def test_ewma_tracks_latency():
+    controller = AdaptiveBatchController(slo_ms=100.0, alpha=0.5, max_batch=4)
+    controller.observe(10.0)
+    assert controller.ewma_ms == pytest.approx(10.0)
+    controller.observe(20.0)
+    assert controller.ewma_ms == pytest.approx(15.0)
+
+
+# --------------------------------------------------------------------------- #
+# StreamingRouter wiring
+# --------------------------------------------------------------------------- #
+def test_streaming_router_adapts_batch_size(fleet, workload):
+    router = StreamingRouter(fleet, batch_size=8, num_samples=_SAMPLES,
+                             seed=2, slo_ms=0.01, adaptive=True)
+    report = router.run(workload)
+    for route in report.stats.routes:
+        trace = report.stats.routes[route]["batch_trace"]
+        assert trace[0] == 8
+        assert min(trace) < 8  # the impossible SLO forced a shrink
+        assert router.controller(route).shrinks > 0
+    snapshots = router.controllers_report()
+    assert set(snapshots) == set(report.stats.routes)
+    assert all(entry["slo_ms"] == 0.01 for entry in snapshots.values())
+
+
+def test_streaming_router_adaptive_false_is_fixed(fleet, workload):
+    fixed = FleetRouter(fleet, batch_size=4, num_samples=_SAMPLES, seed=2)
+    frozen = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES,
+                             seed=2, slo_ms=0.01, adaptive=False)
+    left = fixed.run(workload)
+    right = frozen.run(workload)
+    np.testing.assert_allclose(right.selectivities, left.selectivities,
+                               rtol=0.0, atol=1e-12)
+    for route in left.stats.routes:
+        assert left.stats.routes[route]["num_batches"] == \
+            right.stats.routes[route]["num_batches"]
+        trace = right.stats.routes[route]["batch_trace"]
+        assert set(trace) == {4}  # disabled controller never moves
+
+
+def test_registry_slo_overrides_router_slo(fleet):
+    fleet.set_slo("sessions", 123.0)
+    try:
+        router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES,
+                                 seed=2, slo_ms=50.0, adaptive=True)
+        assert router.effective_slo("sessions") == 123.0
+        assert router.effective_slo("users") == 50.0
+        assert router.controller("sessions").slo_ms == 123.0
+        assert router.controller("users").slo_ms == 50.0
+    finally:
+        fleet.set_slo("sessions", None)
+    assert fleet.slo_ms("sessions") is None
+
+
+def test_registry_slo_validation(fleet):
+    with pytest.raises(ValueError, match="slo_ms"):
+        fleet.set_slo("users", 0.0)
+    with pytest.raises(KeyError):
+        fleet.set_slo("nope", 10.0)
+    registry = ModelRegistry(default_config=_CONFIG)
+    with pytest.raises(ValueError, match="slo_ms"):
+        registry.register_table(make_users(num_users=16, seed=0), slo_ms=-1.0)
+    name = registry.register_table(make_users(num_users=16, seed=1), slo_ms=5.0)
+    assert registry.slo_ms(name) == 5.0
+    assert registry.size_report()[name]["slo_ms"] == 5.0
+
+
+def test_streaming_router_validates_arguments(fleet):
+    with pytest.raises(ValueError, match="slo_ms"):
+        StreamingRouter(fleet, slo_ms=-1.0)
+    with pytest.raises(ValueError, match="min_batch"):
+        StreamingRouter(fleet, batch_size=4, min_batch=5)
+    # Controller tuning knobs fail fast at construction, not on the first
+    # routed query mid-serve.
+    with pytest.raises(ValueError, match="alpha"):
+        StreamingRouter(fleet, slo_ms=5.0, ewma_alpha=1.5)
+    with pytest.raises(ValueError, match="headroom"):
+        StreamingRouter(fleet, slo_ms=5.0, headroom=0.0)
+    with pytest.raises(ValueError, match="grow_below"):
+        StreamingRouter(fleet, slo_ms=5.0, grow_below=1.0)
+
+
+def test_batch_trace_is_per_scope(fleet, workload):
+    """Each report's batch_trace covers its own scope: element 0 is the size
+    in force entering the scope, then one entry per dispatch — warmup history
+    does not leak into the steady scope's report."""
+    router = StreamingRouter(fleet, batch_size=8, num_samples=_SAMPLES,
+                             seed=2, slo_ms=0.01, adaptive=True)
+    warmup = router.run(workload)
+    steady = router.run(workload)
+    for route in steady.stats.routes:
+        warm_stats = warmup.stats.routes[route]
+        steady_stats = steady.stats.routes[route]
+        assert warm_stats["batch_trace"][0] == 8  # fresh router: the maximum
+        assert len(warm_stats["batch_trace"]) == warm_stats["num_batches"] + 1
+        # The steady scope opens at the converged size, not the maximum, and
+        # its trace counts only its own dispatches.
+        assert steady_stats["batch_trace"][0] == warm_stats["batch_trace"][-1]
+        assert len(steady_stats["batch_trace"]) == \
+            steady_stats["num_batches"] + 1
+
+
+# --------------------------------------------------------------------------- #
+# AsyncFleetClient
+# --------------------------------------------------------------------------- #
+def test_async_client_resolves_futures_with_routed_results(fleet, workload):
+    router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES, seed=2)
+    batch = FleetRouter(fleet, batch_size=4, num_samples=_SAMPLES,
+                        seed=2).run(workload)
+
+    async def main():
+        client = AsyncFleetClient(router)
+        futures = [client.submit(query) for query in workload]
+        report = await client.drain()
+        return [future.result() for future in futures], report
+
+    results, report = asyncio.run(main())
+    assert [result.index for result in results] == list(range(len(workload)))
+    np.testing.assert_allclose([result.selectivity for result in results],
+                               batch.selectivities, rtol=0.0, atol=1e-12)
+    np.testing.assert_allclose(report.selectivities, batch.selectivities,
+                               rtol=0.0, atol=1e-12)
+
+
+def test_async_client_duplicate_index_rejected(fleet, workload):
+    router = StreamingRouter(fleet, batch_size=64, num_samples=_SAMPLES, seed=2)
+
+    async def main():
+        client = AsyncFleetClient(router)
+        client.submit(workload[0], index=5)
+        with pytest.raises(ValueError, match="already used"):
+            client.submit(workload[1], index=5)
+        assert client.outstanding == 1
+        await client.drain()
+
+    asyncio.run(main())
+
+
+def test_async_client_rejects_index_reuse_after_dispatch(fleet, workload):
+    """A dispatched index is as used as a pending one: reusing it would make
+    two queries share one random stream and corrupt report ordering."""
+    router = StreamingRouter(fleet, batch_size=1, num_samples=_SAMPLES, seed=2)
+
+    async def main():
+        client = AsyncFleetClient(router)
+        future = client.submit(workload[0], index=3)
+        assert future.done()  # batch_size=1 dispatches on submission
+        with pytest.raises(ValueError, match="already used"):
+            client.submit(workload[1], index=3)
+        await client.drain()
+
+    asyncio.run(main())
+
+
+def test_async_client_routing_error_leaves_no_future(fleet, workload):
+    router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES, seed=2)
+
+    async def main():
+        client = AsyncFleetClient(router)
+        with pytest.raises(RoutingError):
+            client.submit(workload[0].qualified("not_registered"))
+        assert client.outstanding == 0
+        assert router.next_index == 0  # nothing was consumed
+        return await client.drain()
+
+    report = asyncio.run(main())
+    assert report.stats.num_queries == 0
+
+
+def test_async_client_result_cache_hit_resolves_immediately(fleet, workload):
+    router = StreamingRouter(fleet, batch_size=64, num_samples=_SAMPLES,
+                             seed=2, result_cache=True)
+    router.run(workload)  # warm the result cache
+    start_index = router.next_index  # the scope continues after run()
+
+    async def main():
+        client = AsyncFleetClient(router)
+        future = client.submit(workload[0])
+        assert future.done()  # served from the result cache, synchronously
+        result = future.result()
+        assert result.from_result_cache
+        await client.drain()
+        return result
+
+    result = asyncio.run(main())
+    assert result.index == start_index
+
+
+def test_async_client_empty_stream_drains_to_well_formed_report(fleet):
+    router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES, seed=2)
+
+    async def main():
+        async with AsyncFleetClient(router) as client:
+            assert client.outstanding == 0
+        return router.report()
+
+    report = asyncio.run(main())
+    assert report.results == []
+    assert report.stats.num_queries == 0
+    assert report.stats.queries_per_second == 0.0
+    assert report.stats.latency_ms == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_async_client_detaches_and_restores_observer(fleet):
+    seen = []
+    prior = seen.append
+    router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES,
+                             seed=2, on_result=prior)
+
+    async def main():
+        async with AsyncFleetClient(router) as client:
+            client.submit(WorkloadGenerator(fleet.relation("users"),
+                                            min_filters=1, max_filters=2,
+                                            seed=9).generate(1)[0]
+                          .qualified("users"))
+
+    asyncio.run(main())
+    assert router.on_result is prior  # prior observer restored
+    assert len(seen) == 1  # ...and it kept firing while the client was live
+
+
+# --------------------------------------------------------------------------- #
+# stream_workload
+# --------------------------------------------------------------------------- #
+def test_stream_workload_rejects_bad_arrival_order(fleet, workload):
+    router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES, seed=2)
+    with pytest.raises(ValueError, match="permutation"):
+        stream_workload(router, workload, arrival_order=[0, 0, 1])
+
+
+def test_stream_workload_sheds_like_run(fleet, workload):
+    router = StreamingRouter(fleet, batch_size=8, num_samples=_SAMPLES,
+                             seed=2, max_pending=2, overflow="shed")
+    report = stream_workload(router, workload)
+    assert report.stats.shed > 0
+    assert report.stats.num_queries + report.stats.shed == len(workload)
+    # Shed queries leave their position-keyed index unused; route_of must
+    # look results up by index field, not list position, across the gaps.
+    for result in report.results:
+        assert report.route_of(result.index) == result.route
+    served = {result.index for result in report.results}
+    missing = next(position for position in range(len(workload))
+                   if position not in served)
+    with pytest.raises(KeyError, match="no result"):
+        report.route_of(missing)
+
+
+# --------------------------------------------------------------------------- #
+# Bursty workloads and latency percentiles
+# --------------------------------------------------------------------------- #
+def test_bursty_workload_is_mixed_workload_reordered(fleet):
+    relations = {name: fleet.relation(name) for name in fleet.names}
+    mixed = generate_mixed_workload(relations, 24, min_filters=1,
+                                    max_filters=3, seed=3,
+                                    weights={"sessions": 3.0, "users": 1.0})
+    bursty = generate_bursty_workload(relations, 24, hot="sessions",
+                                      burst_size=6, min_filters=1,
+                                      max_filters=3, seed=3,
+                                      weights={"sessions": 3.0, "users": 1.0})
+    assert sorted(map(str, bursty)) == sorted(map(str, mixed))
+    # The hot relation opens with a full uninterrupted burst.
+    assert [query.table for query in bursty[:6]] == ["sessions"] * 6
+    with pytest.raises(ValueError, match="hot relation"):
+        generate_bursty_workload(relations, 8, hot="nope")
+    with pytest.raises(ValueError, match="burst_size"):
+        generate_bursty_workload(relations, 8, hot="users", burst_size=0)
+
+
+def test_latency_percentiles_weighting_and_edges():
+    assert latency_percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    flat = latency_percentiles([10.0, 10.0, 10.0])
+    assert flat == {"p50": 10.0, "p95": 10.0, "p99": 10.0}
+    # Query weighting: one 100 ms batch of 99 queries dominates the tail of
+    # one 1 ms batch of 1 query.
+    weighted = latency_percentiles([1.0, 100.0], weights=[1, 99])
+    assert weighted["p50"] == 100.0
+    unweighted = latency_percentiles([1.0, 100.0])
+    assert unweighted["p50"] == pytest.approx(50.5)
+    with pytest.raises(ValueError, match="equal length"):
+        latency_percentiles([1.0], weights=[1, 2])
+    assert latency_percentiles([5.0], weights=[0]) == \
+        {"p50": 0.0, "p95": 0.0, "p99": 0.0}
