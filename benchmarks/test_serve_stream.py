@@ -1,20 +1,29 @@
-"""Streaming + SLO-adaptive batching — fixed vs adaptive under bursty arrivals.
+"""End-to-end latency SLOs — dispatch-only vs e2e-scoped adaptive batching.
 
-Not a reproduction of a paper table: this benchmark guards the streaming
-claims of :mod:`repro.serve.stream`.  A bursty workload (the hot relation
-arrives in uninterrupted runs) is served with a fixed max-size micro-batch
-and with an SLO-adaptive one; the stated p95 dispatch-latency SLO is
-calibrated as a fraction of the *measured* fixed-batch p95, so on any
-hardware the fixed router misses it by construction while the adaptive
-controller — which halves the batch size whenever its latency EWMA threatens
-the target — must meet it at steady state.  A shuffled-arrival pass through
-:class:`repro.serve.AsyncFleetClient` additionally asserts streaming ≡ batch:
-submitting the queries one at a time, out of order, changes no estimate.
+Not a reproduction of a paper table: this benchmark guards the latency
+honesty of :mod:`repro.serve.stream`.  A bursty workload is served with a
+fixed max-size micro-batch, with the **pre-fix** adaptive controller
+(``slo_scope="dispatch"``: it steers micro-batch sizes against dispatch
+latency alone, so queueing delay in partially filled batches is neither
+measured nor bounded), and with the fixed controller (``slo_scope="e2e"``
+plus a flush timeout).  The stated p95 SLO is *end-to-end* — submission to
+result — and calibrated as a fraction of the measured fixed-batch e2e p95,
+so on any hardware:
+
+* the dispatch-scoped controller converges to dispatch latencies under the
+  SLO while its end-to-end p95 **misses** it — the measurement bug this
+  benchmark exists to keep visible, and
+* the e2e-scoped controller **meets** the same SLO at steady state.
+
+A shuffled-arrival pass through :class:`repro.serve.AsyncFleetClient` and an
+unbatched :func:`repro.serve.run_fleet_sequential` baseline additionally
+assert that none of this — adaptive boundaries, timeout flushes, streaming —
+moves a single estimate.
 
 Run with ``REPRO_BENCH_SMOKE=1`` the configuration shrinks to finish in
-seconds and the steady-state SLO gate softens to a p95-improvement check
-(tiny workloads leave the controller too few dispatches to converge); the
-JSON report is written to ``results/serve_stream.json`` either way.
+seconds and the steady-state SLO gates soften to an improvement check (tiny
+workloads leave the controllers too few dispatches to converge); the JSON
+report is written to ``results/serve_stream.json`` either way.
 """
 
 from __future__ import annotations
@@ -48,43 +57,75 @@ def test_serve_stream(bench_scale, results_dir):
     save_report(results_dir, "serve_stream", result["text"])
     with open(os.path.join(results_dir, "serve_stream.json"), "w") as handle:
         json.dump({key: result[key] for key in
-                   ("slo_ms", "slo_fraction", "fixed_p95_ms", "steady_p95_ms",
-                    "p95_improvement", "fixed_meets_slo", "adaptive_meets_slo",
-                    "max_estimate_drift", "max_batch", "burst_size",
-                    "hot_queries", "num_queries", "batch_trace", "controller",
-                    "modes", "fixed", "adaptive_warmup", "adaptive_steady",
-                    "streamed")},
+                   ("slo_ms", "slo_fraction", "flush_after_ms",
+                    "flush_fraction", "fixed_e2e_p95_ms", "dispatch_scoped",
+                    "e2e_scoped", "dispatch_scoped_meets_dispatch_slo",
+                    "dispatch_scoped_meets_e2e_slo", "e2e_scoped_meets_e2e_slo",
+                    "fixed_meets_e2e_slo", "max_estimate_drift", "max_batch",
+                    "burst_size", "hot_queries", "num_queries",
+                    "arrival_gap_ms", "dispatch_batch_trace", "e2e_batch_trace",
+                    "dispatch_controller", "e2e_controller", "modes", "fixed",
+                    "dispatch_steady", "e2e_steady", "streamed")},
                   handle, indent=1)
 
-    # Streaming and adaptive batch boundaries must be invisible in the
-    # numbers: the warmup, steady and shuffled-arrival streaming passes all
-    # reproduce the fixed batch run (the tolerance covers one-ulp BLAS
-    # round-off from the different micro-batch shapes).
+    # Adaptive boundaries, timeout flushes and shuffled-arrival streaming
+    # must be invisible in the numbers: every mode reproduces the unbatched
+    # sequential baseline (the tolerance covers one-ulp BLAS round-off from
+    # the different micro-batch shapes).
     assert result["max_estimate_drift"] <= 1e-9
 
-    # The SLO is stated below the measured fixed p95, so the fixed router
-    # misses it by construction — the benchmark's premise, kept explicit.
-    assert not result["fixed_meets_slo"]
+    # The SLO is stated below the measured fixed e2e p95, so the fixed
+    # router misses it by construction — the benchmark's premise.
+    assert not result["fixed_meets_e2e_slo"]
     assert result["slo_ms"] > 0
 
-    # The controller really adapted: starting from the maximum batch size it
-    # shrank under the bursts, and the hot relation's steady pass ran at a
-    # converged size below the maximum.
-    assert result["batch_trace"][0] == result["max_batch"]
-    assert min(result["batch_trace"]) < result["max_batch"]
-    assert result["controller"]["shrinks"] > 0
+    # The dispatch-scoped controller really adapted: starting from the
+    # maximum batch size it shrank until its dispatch p95 fit the target.
+    # (The e2e-scoped run may or may not shrink its size clamp — when the
+    # flush timeout already bounds every batch's linger, there is nothing
+    # left for multiplicative decrease to do.)
+    assert result["dispatch_batch_trace"][0] == result["max_batch"]
+    assert min(result["dispatch_batch_trace"]) < result["max_batch"]
+    assert result["dispatch_controller"]["shrinks"] > 0
+
+    # The flush timeout really fired: partially filled batches were
+    # force-dispatched instead of lingering.
+    assert any(row["timeout_flushes"] > 0 for row in result["modes"]
+               if row["mode"].startswith("e2e"))
 
     # The workload really is bursty and hot.
     assert result["hot_queries"] >= result["num_queries"] // 2
 
     if _SMOKE:
-        # Too few dispatches to demand convergence — but adaptive batching
-        # must still improve the hot relation's p95 dispatch latency.
-        assert result["steady_p95_ms"] < result["fixed_p95_ms"]
+        # Too few dispatches to demand convergence — but e2e-scoped steering
+        # must still beat dispatch-only steering on the latency callers see.
+        assert result["e2e_scoped"]["e2e_p95_ms"] < \
+            result["dispatch_scoped"]["e2e_p95_ms"]
     else:
-        # The headline claim: at steady state the adaptive router meets the
-        # stated p95 SLO that fixed max-size batching misses.
-        assert result["adaptive_meets_slo"], (
-            f"steady p95 {result['steady_p95_ms']:.1f} ms exceeds the stated "
-            f"SLO {result['slo_ms']:.1f} ms")
-        assert result["p95_improvement"] > 1.5
+        # The headline claim, both halves.  The pre-fix controller looks
+        # healthy by its own (dispatch-only) accounting...
+        assert result["dispatch_scoped_meets_dispatch_slo"], (
+            f"dispatch-scoped dispatch p95 "
+            f"{result['dispatch_scoped']['dispatch_p95_ms']:.1f} ms exceeds "
+            f"the stated SLO {result['slo_ms']:.1f} ms")
+        # ...while under-reporting the latency its callers experience: the
+        # delivered e2e p95 sits far above the dispatch p95 the controller
+        # steers on (threshold-free honesty gap, robust to batch-size noise)
+        # and above the stated SLO itself...
+        assert result["dispatch_scoped"]["e2e_p95_ms"] > \
+            1.4 * result["dispatch_scoped"]["dispatch_p95_ms"], (
+            "dispatch-only accounting was unexpectedly honest: e2e p95 "
+            f"{result['dispatch_scoped']['e2e_p95_ms']:.1f} ms vs dispatch "
+            f"p95 {result['dispatch_scoped']['dispatch_p95_ms']:.1f} ms")
+        assert not result["dispatch_scoped_meets_e2e_slo"], (
+            f"dispatch-scoped e2e p95 "
+            f"{result['dispatch_scoped']['e2e_p95_ms']:.1f} ms unexpectedly "
+            f"meets the SLO {result['slo_ms']:.1f} ms — the bug this bench "
+            "demonstrates would be invisible")
+        # ...which the e2e-scoped controller (with the flush timeout) meets,
+        # delivering strictly better end-to-end latency.
+        assert result["e2e_scoped_meets_e2e_slo"], (
+            f"e2e-scoped e2e p95 {result['e2e_scoped']['e2e_p95_ms']:.1f} ms "
+            f"exceeds the stated SLO {result['slo_ms']:.1f} ms")
+        assert result["e2e_scoped"]["e2e_p95_ms"] < \
+            result["dispatch_scoped"]["e2e_p95_ms"]

@@ -110,12 +110,19 @@ Streaming submission and latency SLOs
 Workloads do not have to arrive as lists.  :class:`AsyncFleetClient` streams
 queries in one at a time from asyncio producers and resolves each through a
 future; :class:`StreamingRouter` adds SLO-aware adaptive batching — one
-:class:`AdaptiveBatchController` per relation watches a dispatch-latency EWMA
-and grows/shrinks the relation's micro-batch size within ``[1, batch_size]``
-to keep p95 dispatch latency under a target (router-wide ``slo_ms``, or
-per-relation via ``register_table(..., slo_ms=...)``).  Because estimates are
-keyed by ``(seed, global submission index)`` alone, streaming ≡ batch for any
-arrival order, and adaptive batch boundaries never change a number::
+:class:`AdaptiveBatchController` per relation watches a latency EWMA
+(**end-to-end** — queue wait + dispatch — by default, dispatch-only via
+``slo_scope="dispatch"``) and grows/shrinks the relation's micro-batch size
+within ``[min_batch, batch_size]`` to keep the p95 under a target
+(router-wide ``slo_ms``, or per-relation via
+``register_table(..., slo_ms=...)``).  Every submission is stamped on
+arrival, so reports carry queueing-delay and end-to-end percentiles; a
+flush timeout (``flush_after_ms``) bounds how long a partially filled batch
+may linger, and ``await client.submit_async(...)`` suspends producers at
+``max_pending`` instead of shedding.  Because estimates are keyed by
+``(seed, global submission index)`` alone, streaming ≡ batch for any
+arrival order, and neither adaptive batch boundaries nor timeout flushes
+ever change a number::
 
     import asyncio
     from repro.serve import AsyncFleetClient, StreamingRouter
@@ -151,6 +158,7 @@ from .engine import (
     EngineStats,
     EstimateResult,
     EstimationEngine,
+    VirtualClock,
     query_rng,
     run_sequential,
 )
@@ -187,6 +195,7 @@ __all__ = [
     "BatchRecord",
     "run_sequential",
     "query_rng",
+    "VirtualClock",
     "ConditionalProbCache",
     "CachedConditionalModel",
     "CacheStats",

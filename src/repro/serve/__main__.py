@@ -31,9 +31,15 @@ Multi-model usage (a registry of relations behind one router)::
 
     # Stream the workload query-by-query through the asyncio client, with
     # SLO-aware adaptive batching: micro-batches shrink whenever the
-    # dispatch-latency EWMA threatens the 50 ms p95 target.
+    # end-to-end latency EWMA (queue wait + dispatch) threatens the 50 ms
+    # p95 target, and no partially filled batch waits past 20 ms.
     python -m repro.serve --tables users sessions --stream \
-        --adaptive --slo-ms 50 --num-queries 96
+        --adaptive --slo-ms 50 --flush-after-ms 20 --num-queries 96
+
+    # The pre-fix accounting, for comparison: steer on dispatch latency
+    # alone (queueing delay is then reported but unsteered).
+    python -m repro.serve --tables users sessions --stream \
+        --adaptive --slo-ms 50 --slo-scope dispatch --num-queries 96
 """
 
 from __future__ import annotations
@@ -148,11 +154,25 @@ def build_parser() -> argparse.ArgumentParser:
                              "(multi-model mode; estimates are identical)")
     parser.add_argument("--adaptive", action="store_true",
                         help="adapt each relation's micro-batch size to keep "
-                             "dispatch latency under --slo-ms (multi-model "
+                             "latency under --slo-ms (multi-model "
                              "mode; requires --slo-ms)")
-    parser.add_argument("--slo-ms", type=float, default=0.0, metavar="MS",
-                        help="target p95 micro-batch dispatch latency in "
-                             "milliseconds (0 = no SLO)")
+    parser.add_argument("--slo-ms", type=float, default=None, metavar="MS",
+                        help="target p95 latency in milliseconds; must be "
+                             "positive (scope set by --slo-scope)")
+    parser.add_argument("--slo-scope", choices=("dispatch", "e2e"),
+                        default="e2e",
+                        help="what the SLO covers: end-to-end latency from "
+                             "submission to result (e2e, default) or the "
+                             "micro-batch dispatch alone (dispatch)")
+    parser.add_argument("--flush-after-ms", type=float, default=None,
+                        metavar="MS",
+                        help="dispatch any partially filled micro-batch once "
+                             "its oldest query has waited this long, bounding "
+                             "queueing delay (multi-model mode; must be "
+                             "positive)")
+    parser.add_argument("--min-batch", type=int, default=1, metavar="N",
+                        help="lower clamp of the adaptive micro-batch size "
+                             "(multi-model mode; must be in [1, batch size])")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--compare-sequential", action="store_true",
                         help="also run the unbatched baseline and print the speedup")
@@ -295,14 +315,21 @@ def _serve_multi(arguments) -> int:
                          seed=arguments.seed,
                          max_pending=arguments.max_pending or None,
                          overflow=arguments.overflow,
-                         result_cache=arguments.result_cache)
+                         result_cache=arguments.result_cache,
+                         flush_after_ms=arguments.flush_after_ms)
     if arguments.adaptive:
         router = StreamingRouter(registry, slo_ms=arguments.slo_ms,
-                                 adaptive=True, **router_kwargs)
-        print(f"Adaptive batching on: p95 dispatch SLO {arguments.slo_ms:g} ms, "
-              f"micro-batches in [1, {arguments.batch_size}]")
+                                 adaptive=True, slo_scope=arguments.slo_scope,
+                                 min_batch=arguments.min_batch,
+                                 **router_kwargs)
+        print(f"Adaptive batching on: p95 {arguments.slo_scope} SLO "
+              f"{arguments.slo_ms:g} ms, micro-batches in "
+              f"[{arguments.min_batch}, {arguments.batch_size}]")
     else:
         router = FleetRouter(registry, **router_kwargs)
+    if arguments.flush_after_ms is not None:
+        print(f"Flush timeout on: partially filled micro-batches dispatch "
+              f"after {arguments.flush_after_ms:g} ms")
     if arguments.result_cache:
         try:
             keys = [canonical_query_key(query, route=router.resolve_route(query))
@@ -332,6 +359,18 @@ def _serve_multi(arguments) -> int:
         print(f"  dispatch latency p50/p95/p99: "
               f"{stats.latency_ms['p50']:.1f} / {stats.latency_ms['p95']:.1f} "
               f"/ {stats.latency_ms['p99']:.1f} ms")
+    if stats.queue_wait_ms is not None:
+        print(f"  queue wait p50/p95/p99:       "
+              f"{stats.queue_wait_ms['p50']:.1f} / "
+              f"{stats.queue_wait_ms['p95']:.1f} / "
+              f"{stats.queue_wait_ms['p99']:.1f} ms")
+    if stats.e2e_ms is not None:
+        print(f"  end-to-end p50/p95/p99:       "
+              f"{stats.e2e_ms['p50']:.1f} / {stats.e2e_ms['p95']:.1f} / "
+              f"{stats.e2e_ms['p99']:.1f} ms")
+    if stats.timeout_flushes:
+        print(f"  {stats.timeout_flushes} micro-batches dispatched by the "
+              f"flush timeout")
     if stats.shed:
         print(f"  shed {stats.shed} queries at the admission limit "
               f"(max_pending={arguments.max_pending}, policy=shed)")
@@ -349,7 +388,9 @@ def _serve_multi(arguments) -> int:
               f"{route_stats['queries_per_second']:8.1f} queries/s{hit_rate}")
         if arguments.adaptive and route_stats["batch_trace"]:
             trace = route_stats["batch_trace"]
-            print(f"  {'':<24} p95 {route_stats['latency_ms']['p95']:.1f} ms, "
+            print(f"  {'':<24} dispatch p95 "
+                  f"{route_stats['latency_ms']['p95']:.1f} ms, e2e p95 "
+                  f"{route_stats['e2e_ms']['p95']:.1f} ms, "
                   f"batch size {trace[0]} -> {trace[-1]} "
                   f"(min {min(trace)}, {len(trace) - 1} dispatches)")
 
@@ -421,7 +462,10 @@ def main(argv: list[str] | None = None) -> int:
             ("--result-cache", arguments.result_cache),
             ("--stream", arguments.stream),
             ("--adaptive", arguments.adaptive),
-            ("--slo-ms", arguments.slo_ms != 0.0),
+            ("--slo-ms", arguments.slo_ms is not None),
+            ("--slo-scope", arguments.slo_scope != "e2e"),
+            ("--flush-after-ms", arguments.flush_after_ms is not None),
+            ("--min-batch", arguments.min_batch != 1),
         ) if used]
         if fleet_flags:
             raise SystemExit(f"{', '.join(fleet_flags)} require(s) --tables "
@@ -433,14 +477,31 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.overflow == "shed" and arguments.max_pending == 0:
         raise SystemExit("--overflow shed requires --max-pending: with an "
                          "unbounded queue nothing can ever be shed")
-    if arguments.slo_ms < 0:
-        raise SystemExit("--slo-ms must be non-negative (0 = no SLO)")
-    if arguments.adaptive and arguments.slo_ms == 0.0:
+    if arguments.slo_ms is not None and arguments.slo_ms <= 0:
+        raise SystemExit(f"--slo-ms must be positive, got {arguments.slo_ms:g} "
+                         "(omit the flag to serve without an SLO)")
+    if arguments.flush_after_ms is not None and arguments.flush_after_ms <= 0:
+        raise SystemExit(f"--flush-after-ms must be positive, got "
+                         f"{arguments.flush_after_ms:g} (omit the flag to let "
+                         "partial batches wait indefinitely)")
+    if arguments.min_batch < 1:
+        raise SystemExit("--min-batch must be at least 1")
+    if arguments.min_batch > arguments.batch_size:
+        raise SystemExit(f"--min-batch ({arguments.min_batch}) must not "
+                         f"exceed --batch-size ({arguments.batch_size})")
+    if arguments.adaptive and arguments.slo_ms is None:
         raise SystemExit("--adaptive requires --slo-ms: the controller needs "
                          "a latency target to steer the batch size towards")
-    if arguments.slo_ms > 0.0 and not arguments.adaptive:
+    if arguments.slo_ms is not None and not arguments.adaptive:
         raise SystemExit("--slo-ms does nothing without --adaptive: no "
                          "controller would enforce the target (add --adaptive)")
+    if arguments.slo_scope != "e2e" and not arguments.adaptive:
+        raise SystemExit("--slo-scope does nothing without --adaptive: no "
+                         "controller would use the scope (add --adaptive)")
+    if arguments.min_batch != 1 and not arguments.adaptive:
+        raise SystemExit("--min-batch does nothing without --adaptive: only "
+                         "the adaptive controller moves the batch size "
+                         "(add --adaptive)")
     if arguments.tables:
         return _serve_multi(arguments)
     return _serve_single(arguments)

@@ -17,6 +17,15 @@ micro-batch boundaries: running a workload with ``batch_size=64`` or
 ``batch_size=1`` produces the same numbers (up to float round-off of skipped
 wildcard columns).  :func:`run_sequential` exploits this to provide the
 apples-to-apples unbatched baseline used by the throughput benchmark.
+
+Latency is accounted end-to-end: every submission is stamped with an arrival
+time from the engine's ``clock``, so each result carries its queueing delay
+(submission to dispatch start) and its end-to-end latency (submission to
+dispatch completion) alongside the batch's dispatch latency.  A
+``flush_after_ms`` deadline bounds the queueing delay of partially filled
+batches — :meth:`EstimationEngine.tick` dispatches any batch whose oldest
+query has waited past the bound.  Inject a :class:`VirtualClock` to script
+the timeline deterministically.
 """
 
 from __future__ import annotations
@@ -31,7 +40,41 @@ from ..query.predicates import Query
 from .cache import CachedConditionalModel, ConditionalProbCache
 
 __all__ = ["EstimateResult", "BatchRecord", "EngineStats", "EngineReport",
-           "EstimationEngine", "run_sequential", "query_rng"]
+           "EstimationEngine", "VirtualClock", "run_sequential", "query_rng"]
+
+
+class VirtualClock:
+    """Manually advanced clock for deterministic latency and timeout tests.
+
+    Engines and routers accept any zero-argument callable returning seconds
+    (``time.perf_counter`` by default).  A virtual clock only moves when
+    :meth:`advance` is called, so queueing delays and flush deadlines fire at
+    exactly the ticks a test scripts — the golden fixtures stay byte-stable
+    no matter how slow or noisy the host is.
+
+    With a ``base`` clock the virtual offset rides on top of real time:
+    dispatch latencies stay genuine wall-clock measurements while
+    inter-arrival gaps are injected by :meth:`advance` — how the
+    ``serve_stream`` benchmark paces a whole workload's arrivals in
+    milliseconds of wall time instead of sleeping through them.
+    """
+
+    def __init__(self, start: float = 0.0, base=None) -> None:
+        self.offset = float(start)
+        #: Optional underlying real clock (``None`` = fully virtual time).
+        self.base = base
+
+    def __call__(self) -> float:
+        """The current time: the advanced offset, plus ``base()`` if set."""
+        real = self.base() if self.base is not None else 0.0
+        return self.offset + real
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new time (never backwards)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self.offset += float(seconds)
+        return self()
 
 
 def query_rng(seed: int, query_index: int) -> np.random.Generator:
@@ -47,22 +90,44 @@ def query_rng(seed: int, query_index: int) -> np.random.Generator:
 
 @dataclass(frozen=True)
 class EstimateResult:
-    """Per-query output of the engine."""
+    """Per-query output of the engine.
+
+    ``queue_wait_ms`` is the time the query sat submitted-but-undispatched in
+    its micro-batch; ``e2e_ms`` is the end-to-end latency from submission to
+    dispatch completion (``queue_wait_ms`` plus the batch's dispatch
+    latency) — the latency a caller of the serving stack actually observes.
+    """
 
     index: int
     query: Query
     selectivity: float
     cardinality: float
     batch_index: int
+    queue_wait_ms: float = 0.0
+    e2e_ms: float = 0.0
 
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """Latency accounting of one dispatched micro-batch."""
+    """Latency accounting of one dispatched micro-batch.
+
+    ``latency_ms`` covers the dispatch alone; ``queue_wait_ms`` holds each
+    batched query's submission-to-dispatch-start wait (in batch order), so a
+    query's end-to-end latency is ``queue_wait_ms[i] + latency_ms``.
+    ``timeout_flush`` marks batches dispatched by the flush deadline
+    (``flush_after_ms``) rather than by filling up or an explicit flush.
+    """
 
     batch_index: int
     num_queries: int
     latency_ms: float
+    queue_wait_ms: tuple[float, ...] = ()
+    timeout_flush: bool = False
+
+    @property
+    def max_e2e_ms(self) -> float:
+        """Worst end-to-end latency in the batch: oldest wait plus dispatch."""
+        return max(self.queue_wait_ms, default=0.0) + self.latency_ms
 
 
 @dataclass
@@ -74,6 +139,9 @@ class EngineStats:
     elapsed_s: float = 0.0
     num_samples: int = 0
     batch_size: int = 0
+    #: Micro-batches of this scope dispatched by the flush deadline rather
+    #: than by filling up or an explicit flush.
+    timeout_flushes: int = 0
     cache: dict | None = None
 
     @property
@@ -90,6 +158,7 @@ class EngineStats:
             "queries_per_second": self.queries_per_second,
             "num_samples": self.num_samples,
             "batch_size": self.batch_size,
+            "timeout_flushes": self.timeout_flushes,
             "cache": self.cache,
         }
 
@@ -154,10 +223,25 @@ class EstimationEngine:
         Optional callable invoked with each :class:`BatchRecord` right after
         its micro-batch dispatches.  The adaptive batch controller
         (:class:`repro.serve.stream.AdaptiveBatchController`) observes
-        dispatch latencies through this hook and retunes ``batch_size``
+        latencies through this hook and retunes ``batch_size``
         between dispatches; mutating ``batch_size`` from the hook affects
         when the *next* micro-batch fills, never the numbers it computes.
         Also assignable after construction via the ``batch_hook`` attribute.
+    clock:
+        Zero-argument callable returning seconds (``time.perf_counter`` by
+        default).  Every submission is stamped with its arrival time from
+        this clock, and queue waits / dispatch latencies / flush deadlines
+        are measured against it — inject a :class:`VirtualClock` to script
+        time deterministically in tests.
+    flush_after_ms:
+        Flush deadline: a partially filled micro-batch is dispatched by
+        :meth:`tick` once its *oldest* query has waited this long, bounding
+        queueing delay independently of ``batch_size``.  ``None`` (default)
+        means batches wait indefinitely for a fill or an explicit flush.
+        Deadlines only fire when :meth:`tick` is called — the routers tick
+        after every submission, and the asyncio client runs a wall-clock
+        driver — so timeout flushes are observable, deterministic events,
+        not background races.
     """
 
     def __init__(self, estimator, *, batch_size: int = 32,
@@ -165,12 +249,18 @@ class EstimationEngine:
                  cache_entries: int = 262144, seed: int = 0,
                  result_sink=None,
                  cache: ConditionalProbCache | None = None,
-                 batch_hook=None) -> None:
+                 batch_hook=None, clock=None,
+                 flush_after_ms: float | None = None) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if flush_after_ms is not None and flush_after_ms <= 0:
+            raise ValueError(f"flush_after_ms must be positive, got "
+                             f"{flush_after_ms}")
         self.estimator = estimator
         self.batch_size = batch_size
         self.seed = seed
+        self.clock = clock if clock is not None else time.perf_counter
+        self.flush_after_ms = flush_after_ms
         self._result_sink = result_sink
         #: Per-dispatch observer, see the ``batch_hook`` parameter above.
         self.batch_hook = batch_hook
@@ -192,7 +282,7 @@ class EstimationEngine:
                 model = CachedConditionalModel(model, cache=self._cache)
             self._sampler = ProgressiveSampler(model, seed=seed)
 
-        self._pending: list[tuple[int, Query]] = []
+        self._pending: list[tuple[int, Query, float]] = []
         self._next_index = 0
         self._results: list[EstimateResult] = []
         self._batches: list[BatchRecord] = []
@@ -227,7 +317,7 @@ class EstimationEngine:
             self._next_index += 1
         else:
             self._next_index = max(self._next_index, index + 1)
-        self._pending.append((index, query))
+        self._pending.append((index, query, self.clock()))
         if len(self._pending) >= self.batch_size:
             self._dispatch()
 
@@ -235,6 +325,39 @@ class EstimationEngine:
         """Dispatch any partially filled micro-batch."""
         if self._pending:
             self._dispatch()
+
+    @property
+    def flush_deadline(self) -> float | None:
+        """Clock time the pending micro-batch must dispatch by (``None`` = no bound).
+
+        ``None`` while nothing is pending or no ``flush_after_ms`` is
+        configured; otherwise the oldest pending query's arrival time plus
+        the flush bound, in the engine clock's seconds.
+        """
+        if self.flush_after_ms is None or not self._pending:
+            return None
+        return self._pending[0][2] + self.flush_after_ms / 1000.0
+
+    def tick(self, now: float | None = None) -> float | None:
+        """Dispatch the pending micro-batch if its flush deadline has passed.
+
+        Args:
+            now: The current clock reading; ``None`` reads the engine clock.
+
+        Returns:
+            The engine's (new) flush deadline — ``None`` when nothing is
+            pending or no deadline is configured — so callers scheduling the
+            next tick know how long they may sleep.
+        """
+        deadline = self.flush_deadline
+        if deadline is None:
+            return None
+        if now is None:
+            now = self.clock()
+        if now >= deadline:
+            self._dispatch(timeout=True)
+            return None
+        return deadline
 
     def reset(self) -> None:
         """Start a fresh workload scope: drop results and batch records.
@@ -287,6 +410,7 @@ class EstimationEngine:
             elapsed_s=elapsed_s,
             num_samples=self.num_samples,
             batch_size=self.batch_size,
+            timeout_flushes=sum(batch.timeout_flush for batch in self._batches),
             cache=self.cache_stats,
         )
         results = sorted(self._results, key=lambda result: result.index)
@@ -294,38 +418,43 @@ class EstimationEngine:
                             stats=stats)
 
     # ------------------------------------------------------------------ #
-    def _dispatch(self) -> None:
+    def _dispatch(self, *, timeout: bool = False) -> None:
         batch, self._pending = self._pending, []
         batch_index = len(self._batches)
-        start = time.perf_counter()
+        start = self.clock()
         if self._batched:
             selectivities = self._dispatch_batched(batch)
         else:
             selectivities = [self.estimator.estimate_selectivity(query)
-                             for _, query in batch]
-        latency_ms = (time.perf_counter() - start) * 1000.0
+                             for _, query, _ in batch]
+        latency_ms = (self.clock() - start) * 1000.0
+        queue_waits = tuple(max(0.0, (start - arrival) * 1000.0)
+                            for _, _, arrival in batch)
         num_rows = self.estimator.num_rows
-        for (index, query), selectivity in zip(batch, selectivities):
+        for (index, query, _), wait_ms, selectivity in zip(batch, queue_waits,
+                                                           selectivities):
             selectivity = float(min(max(selectivity, 0.0), 1.0))
             result = EstimateResult(
                 index=index, query=query, selectivity=selectivity,
-                cardinality=selectivity * num_rows, batch_index=batch_index)
+                cardinality=selectivity * num_rows, batch_index=batch_index,
+                queue_wait_ms=wait_ms, e2e_ms=wait_ms + latency_ms)
             self._results.append(result)
             if self._result_sink is not None:
                 self._result_sink(result)
         record = BatchRecord(batch_index=batch_index, num_queries=len(batch),
-                             latency_ms=latency_ms)
+                             latency_ms=latency_ms, queue_wait_ms=queue_waits,
+                             timeout_flush=timeout)
         self._batches.append(record)
         if self.batch_hook is not None:
             self.batch_hook(record)
 
-    def _dispatch_batched(self, batch: list[tuple[int, Query]]) -> np.ndarray:
+    def _dispatch_batched(self, batch: list[tuple[int, Query, float]]) -> np.ndarray:
         fitted = getattr(self.estimator, "_fitted", True)
         if not fitted:
             raise RuntimeError("call fit() on the estimator before serving")
         table = self.estimator.table
-        masks_batch = [query.column_masks(table) for _, query in batch]
-        rngs = [query_rng(self.seed, index) for index, _ in batch]
+        masks_batch = [query.column_masks(table) for _, query, _ in batch]
+        rngs = [query_rng(self.seed, index) for index, _, _ in batch]
         return self._sampler.estimate_selectivity_batch(
             masks_batch, num_samples=self.num_samples, rngs=rngs)
 
@@ -364,12 +493,16 @@ def run_sequential(estimator, queries: list[Query], *,
             rngs=[query_rng(seed, index)])[0]
         latency_ms = (time.perf_counter() - start) * 1000.0
         selectivity = float(min(max(selectivity, 0.0), 1.0))
+        # Sequential serving dispatches on arrival: queue wait is zero and the
+        # end-to-end latency is the dispatch latency itself.
         results.append(EstimateResult(index=index, query=query,
                                       selectivity=selectivity,
                                       cardinality=selectivity * estimator.num_rows,
-                                      batch_index=position))
+                                      batch_index=position,
+                                      queue_wait_ms=0.0, e2e_ms=latency_ms))
         batches.append(BatchRecord(batch_index=position, num_queries=1,
-                                   latency_ms=latency_ms))
+                                   latency_ms=latency_ms,
+                                   queue_wait_ms=(0.0,)))
     elapsed_s = sum(batch.latency_ms for batch in batches) / 1000.0
     stats = EngineStats(num_queries=len(results), num_batches=len(batches),
                         elapsed_s=elapsed_s, num_samples=num_samples,

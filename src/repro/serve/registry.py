@@ -65,6 +65,7 @@ class ModelRegistry:
         self._joins: dict[str, JoinSpec] = {}
         self._replicas: dict[str, int] = {}
         self._slos: dict[str, float] = {}
+        self._flush_afters: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -73,7 +74,8 @@ class ModelRegistry:
                        config: NaruConfig | None = None,
                        estimator: CardinalityEstimator | None = None,
                        replicas: int = 1,
-                       slo_ms: float | None = None) -> str:
+                       slo_ms: float | None = None,
+                       flush_after_ms: float | None = None) -> str:
         """Register a base table as a named relation and return its name.
 
         Parameters
@@ -108,6 +110,12 @@ class ModelRegistry:
             relation's p95 target, overriding its router-wide ``slo_ms`` —
             so a latency-critical relation can run a tighter budget than the
             rest of the fleet.  Tune later with :meth:`set_slo`.
+        flush_after_ms:
+            Per-relation flush deadline in milliseconds (``None`` = defer to
+            the router-wide ``flush_after_ms``).  A router serving this
+            relation dispatches any partially filled micro-batch once its
+            oldest query has waited this long, bounding the relation's
+            queueing delay.  Tune later with :meth:`set_flush_after`.
         """
         name = name or table.name
         if name in self._relations:
@@ -116,6 +124,9 @@ class ModelRegistry:
             raise ValueError(f"replicas must be at least 1, got {replicas}")
         if slo_ms is not None and slo_ms <= 0:
             raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+        if flush_after_ms is not None and flush_after_ms <= 0:
+            raise ValueError(f"flush_after_ms must be positive, got "
+                             f"{flush_after_ms}")
         if estimator is not None:
             if estimator.table is not table:
                 raise ValueError(
@@ -129,6 +140,8 @@ class ModelRegistry:
         self._replicas[name] = replicas
         if slo_ms is not None:
             self._slos[name] = float(slo_ms)
+        if flush_after_ms is not None:
+            self._flush_afters[name] = float(flush_after_ms)
         if estimator is not None:
             self._estimators[name] = estimator
             self._fitted.add(name)
@@ -139,7 +152,8 @@ class ModelRegistry:
     def register_join(self, spec: JoinSpec, *,
                       config: NaruConfig | None = None,
                       replicas: int = 1,
-                      slo_ms: float | None = None) -> str:
+                      slo_ms: float | None = None,
+                      flush_after_ms: float | None = None) -> str:
         """Build a join relation from registered inputs and register it.
 
         The spec's ``left``/``right`` names are resolved against the
@@ -153,7 +167,7 @@ class ModelRegistry:
             raise ValueError(f"relation {name!r} is already registered")
         table = spec.build(self._relations)
         self.register_table(table, name=name, config=config, replicas=replicas,
-                            slo_ms=slo_ms)
+                            slo_ms=slo_ms, flush_after_ms=flush_after_ms)
         self._joins[name] = spec
         return name
 
@@ -184,6 +198,22 @@ class ModelRegistry:
         if slo_ms <= 0:
             raise ValueError(f"slo_ms must be positive, got {slo_ms}")
         self._slos[name] = float(slo_ms)
+
+    def set_flush_after(self, name: str, flush_after_ms: float | None) -> None:
+        """Change (or clear, with ``None``) a relation's flush deadline.
+
+        Routers read the deadline when they materialise the relation's
+        replica group; routers already serving the relation keep the bound
+        their engines were built with.
+        """
+        self.relation(name)  # raise uniformly for unknown names
+        if flush_after_ms is None:
+            self._flush_afters.pop(name, None)
+            return
+        if flush_after_ms <= 0:
+            raise ValueError(f"flush_after_ms must be positive, got "
+                             f"{flush_after_ms}")
+        self._flush_afters[name] = float(flush_after_ms)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -222,9 +252,14 @@ class ModelRegistry:
         return self._replicas.get(name, 1)
 
     def slo_ms(self, name: str) -> float | None:
-        """The relation's dispatch-latency SLO in ms (``None`` = unset)."""
+        """The relation's latency SLO in ms (``None`` = unset)."""
         self.relation(name)
         return self._slos.get(name)
+
+    def flush_after_ms(self, name: str) -> float | None:
+        """The relation's flush deadline in ms (``None`` = defer to router)."""
+        self.relation(name)
+        return self._flush_afters.get(name)
 
     def serving_rows(self, name: str) -> int:
         """The row count estimates for one relation scale by.
@@ -303,6 +338,7 @@ class ModelRegistry:
                 "is_join": name in self._joins,
                 "replicas": self._replicas.get(name, 1),
                 "slo_ms": self._slos.get(name),
+                "flush_after_ms": self._flush_afters.get(name),
             }
         return report
 

@@ -47,6 +47,7 @@ dispatches, so repeats hit both across workload scopes and inside one.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field
 
@@ -78,14 +79,18 @@ def _validate_admission(max_pending: int | None, overflow: str) -> None:
 
 
 def latency_percentiles(latencies_ms, weights=None) -> dict:
-    """p50/p95/p99 of a set of dispatch latencies, optionally query-weighted.
+    """p50/p95/p99 of a set of latencies, optionally query-weighted.
 
     Args:
-        latencies_ms: Per-micro-batch dispatch latencies in milliseconds.
-        weights: Optional per-batch weights (typically the batch's query
-            count, so every query contributes the latency of the dispatch
-            that served it — the quantity a per-query latency SLO is about).
-            ``None`` weights every batch equally.
+        latencies_ms: Per-observation latencies in milliseconds (typically
+            per-micro-batch dispatch latencies, or per-query queue waits).
+        weights: Optional per-observation weights (typically the batch's
+            query count, so every query contributes the latency of the
+            dispatch that served it — the quantity a per-query latency SLO
+            is about).  ``None`` weights every observation equally; weights
+            of zero drop their observation.  Negative weights are a caller
+            bug and raise ``ValueError`` — silently clipping them would
+            report percentiles over a different population than asked for.
 
     Returns:
         ``{"p50": ..., "p95": ..., "p99": ...}`` in milliseconds; all zeros
@@ -99,7 +104,10 @@ def latency_percentiles(latencies_ms, weights=None) -> dict:
         counts = np.asarray(list(weights), dtype=int)
         if counts.shape != latencies.shape:
             raise ValueError("weights and latencies_ms must have equal length")
-        latencies = np.repeat(latencies, np.maximum(counts, 0))
+        if np.any(counts < 0):
+            raise ValueError(f"weights must be non-negative, got "
+                             f"{counts[counts < 0].tolist()}")
+        latencies = np.repeat(latencies, counts)
         if latencies.size == 0:
             return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
     return {f"p{int(q * 100)}": float(np.quantile(latencies, q))
@@ -139,7 +147,9 @@ class RoutedResult:
 
     ``replica`` is the index of the engine replica inside the route's group;
     ``-1`` (with ``batch_index=-1``) marks a result served straight from the
-    fleet-wide result cache without touching any engine.
+    fleet-wide result cache without touching any engine.  ``queue_wait_ms``
+    and ``e2e_ms`` carry the engine's end-to-end accounting (zero for
+    cache-served results, which never queue).
     """
 
     index: int
@@ -149,6 +159,8 @@ class RoutedResult:
     cardinality: float
     batch_index: int
     replica: int = 0
+    queue_wait_ms: float = 0.0
+    e2e_ms: float = 0.0
 
     @property
     def from_result_cache(self) -> bool:
@@ -178,10 +190,23 @@ class FleetStats:
     #: query contributes the latency of the micro-batch that served it.
     #: Cache-served queries never touch an engine and are excluded.
     latency_ms: dict | None = None
+    #: Fleet-wide p50/p95/p99 queueing delay (ms): per-query time between
+    #: submission and the dispatch start of the query's micro-batch.  Same
+    #: exclusion as ``latency_ms``: cache-served queries never queue.
+    queue_wait_ms: dict | None = None
+    #: Fleet-wide p50/p95/p99 end-to-end latency (ms): per-query time from
+    #: submission to dispatch completion — ``queue_wait + dispatch``, the
+    #: latency a caller actually observes and the quantity an end-to-end SLO
+    #: is stated against.
+    e2e_ms: dict | None = None
+    #: Micro-batches this scope dispatched by a flush deadline
+    #: (``flush_after_ms``) rather than by filling up, fleet-wide.
+    timeout_flushes: int = 0
     #: Route name -> aggregated group stats: the union of the engine-stats
     #: keys (query/batch counts, QPS, the group cache's counters) plus
     #: ``num_replicas``, ``shed``, ``result_cache_hits``, per-route
-    #: ``latency_ms`` percentiles, the adaptive controller's ``batch_trace``
+    #: ``latency_ms``/``queue_wait_ms``/``e2e_ms`` percentiles, the group's
+    #: ``timeout_flushes`` count, the adaptive controller's ``batch_trace``
     #: (``None`` on fixed-batch routers) and a ``replicas`` list holding each
     #: replica engine's own ``EngineStats.as_dict()``.
     #: Cache counters live at route level only — replicas share one group
@@ -212,6 +237,9 @@ class FleetStats:
             "shed": self.shed,
             "result_cache": self.result_cache,
             "latency_ms": self.latency_ms,
+            "queue_wait_ms": self.queue_wait_ms,
+            "e2e_ms": self.e2e_ms,
+            "timeout_flushes": self.timeout_flushes,
             "routes": self.routes,
         }
 
@@ -262,6 +290,51 @@ class FleetReport:
         """Queries in this report answered by the fleet result cache."""
         return sum(result.from_result_cache for result in self.results)
 
+    @property
+    def queue_wait_percentiles(self) -> dict | None:
+        """Fleet-wide p50/p95/p99 per-query queueing delay (ms).
+
+        The time each model-served query sat submitted-but-undispatched
+        before its micro-batch started; shorthand for
+        ``stats.queue_wait_ms``.
+        """
+        return self.stats.queue_wait_ms
+
+    @property
+    def e2e_percentiles(self) -> dict | None:
+        """Fleet-wide p50/p95/p99 per-query end-to-end latency (ms).
+
+        Submission to dispatch completion — queueing delay plus dispatch —
+        the latency an end-to-end SLO is stated against; shorthand for
+        ``stats.e2e_ms``.
+        """
+        return self.stats.e2e_ms
+
+    @property
+    def dispatch_percentiles(self) -> dict | None:
+        """Fleet-wide p50/p95/p99 dispatch latency (ms), query-weighted.
+
+        Shorthand for ``stats.latency_ms``, named to contrast with
+        :attr:`queue_wait_percentiles` and :attr:`e2e_percentiles`.
+        """
+        return self.stats.latency_ms
+
+
+def _per_query_latencies(batches) -> tuple[list[float], list[float]]:
+    """Flatten batch records into per-query (queue wait, end-to-end) lists.
+
+    Each batched query's end-to-end latency is its own queueing delay plus
+    its batch's dispatch latency; the lists are already per-query, so the
+    percentile helper needs no weights.
+    """
+    waits: list[float] = []
+    e2es: list[float] = []
+    for record in batches:
+        for wait_ms in record.queue_wait_ms:
+            waits.append(wait_ms)
+            e2es.append(wait_ms + record.latency_ms)
+    return waits, e2es
+
 
 def _route_cache_dict(dicts: list[dict | None]) -> dict | None:
     """The route-level conditional-cache counters of one replica group.
@@ -290,7 +363,9 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
         RoutedResult(index=result.index, route=route, query=result.query,
                      selectivity=result.selectivity,
                      cardinality=result.cardinality,
-                     batch_index=result.batch_index, replica=replica)
+                     batch_index=result.batch_index, replica=replica,
+                     queue_wait_ms=result.queue_wait_ms,
+                     e2e_ms=result.e2e_ms)
         for route, reports in route_reports.items()
         for replica, report in enumerate(reports)
         for result in report.results
@@ -309,6 +384,7 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
         route_batches = [record for report in reports
                          for record in report.batches]
         all_batches.extend(route_batches)
+        route_waits, route_e2es = _per_query_latencies(route_batches)
         routes_stats[route] = {
             "num_queries": num_queries,
             "num_batches": sum(stats.num_batches for stats in replica_stats),
@@ -328,8 +404,13 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
             "latency_ms": latency_percentiles(
                 [record.latency_ms for record in route_batches],
                 weights=[record.num_queries for record in route_batches]),
+            "queue_wait_ms": latency_percentiles(route_waits),
+            "e2e_ms": latency_percentiles(route_e2es),
+            "timeout_flushes": sum(stats.timeout_flushes
+                                   for stats in replica_stats),
             "batch_trace": batch_traces.get(route),
         }
+    fleet_waits, fleet_e2es = _per_query_latencies(all_batches)
     stats = FleetStats(
         num_queries=len(merged),
         num_models=num_models,
@@ -341,6 +422,10 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
         latency_ms=latency_percentiles(
             [record.latency_ms for record in all_batches],
             weights=[record.num_queries for record in all_batches]),
+        queue_wait_ms=latency_percentiles(fleet_waits),
+        e2e_ms=latency_percentiles(fleet_e2es),
+        timeout_flushes=sum(entry["timeout_flushes"]
+                            for entry in routes_stats.values()),
         routes=routes_stats,
     )
     return FleetReport(results=merged, routes=route_reports, stats=stats)
@@ -498,6 +583,20 @@ class FleetRouter:
         (:class:`repro.serve.stream.AsyncFleetClient`) resolves its futures
         through this hook; it is also assignable after construction via the
         ``on_result`` attribute.
+    flush_after_ms:
+        Router-wide flush deadline: a partially filled micro-batch is
+        dispatched by :meth:`tick` once its oldest query has waited this
+        long, bounding queueing delay independently of ``batch_size``
+        (``None`` = batches wait indefinitely for a fill or an explicit
+        flush, the pre-deadline behaviour).  Overridable per relation via
+        :meth:`repro.serve.registry.ModelRegistry.register_table`'s
+        ``flush_after_ms``.  :meth:`run` ticks after every submission; the
+        asyncio client drives ticks from wall-clock deadlines.
+    clock:
+        Zero-argument callable returning seconds, shared by every engine the
+        router builds (``time.perf_counter`` by default).  Inject a
+        :class:`repro.serve.engine.VirtualClock` to make queue waits and
+        flush deadlines fully deterministic in tests.
     """
 
     def __init__(self, registry: ModelRegistry, *, batch_size: int = 32,
@@ -505,11 +604,15 @@ class FleetRouter:
                  cache_entries: int = 262144, seed: int = 0,
                  default_route: str | None = None,
                  max_pending: int | None = None, overflow: str = "block",
-                 result_cache: bool = False, on_result=None) -> None:
+                 result_cache: bool = False, on_result=None,
+                 flush_after_ms: float | None = None, clock=None) -> None:
         if len(registry) == 0:
             raise ValueError("the registry has no relations to serve")
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if flush_after_ms is not None and flush_after_ms <= 0:
+            raise ValueError(f"flush_after_ms must be positive, got "
+                             f"{flush_after_ms}")
         if default_route is not None and default_route not in registry:
             raise ValueError(f"default route {default_route!r} is not a "
                              f"registered relation ({', '.join(registry.names)})")
@@ -535,6 +638,9 @@ class FleetRouter:
         self.default_route = default_route
         self.max_pending = max_pending
         self.overflow = overflow
+        self.flush_after_ms = flush_after_ms
+        #: The shared clock of every engine, see the ``clock`` parameter.
+        self.clock = clock if clock is not None else time.perf_counter
         self._groups: dict[str, ReplicaGroup] = {}
         #: Per-result observer, see the ``on_result`` parameter above.
         self.on_result = on_result
@@ -631,7 +737,9 @@ class FleetRouter:
                     estimator, batch_size=self.batch_size,
                     num_samples=self.num_samples, use_cache=self.use_cache,
                     cache_entries=self.cache_entries_per_model, seed=self.seed,
-                    result_sink=make_sink(replica), cache=shared_cache)
+                    result_sink=make_sink(replica), cache=shared_cache,
+                    clock=self.clock,
+                    flush_after_ms=self.effective_flush_after(route))
                 for replica in range(replicas)
             ]
             group = ReplicaGroup(route, engines, max_pending=self.max_pending,
@@ -650,6 +758,49 @@ class FleetRouter:
     def engine(self, route: str, replica: int = 0) -> EstimationEngine:
         """One replica engine of a route (replica 0 by default)."""
         return self.group(route).engines[replica]
+
+    def effective_flush_after(self, route: str) -> float | None:
+        """The flush deadline of one route: registry override, then router."""
+        registry_bound = self.registry.flush_after_ms(route)
+        return registry_bound if registry_bound is not None \
+            else self.flush_after_ms
+
+    @property
+    def has_flush_timeouts(self) -> bool:
+        """Whether any relation this router serves carries a flush deadline."""
+        if self.flush_after_ms is not None:
+            return True
+        return any(self.registry.flush_after_ms(name) is not None
+                   for name in self.registry.names)
+
+    def tick(self, now: float | None = None) -> float | None:
+        """Fire every overdue flush deadline; returns the earliest remaining one.
+
+        Walks all materialised engines and dispatches any partially filled
+        micro-batch whose oldest query has waited past its
+        ``flush_after_ms``.  A no-op (returning ``None``) when no deadlines
+        are configured or nothing is pending, so callers may tick
+        unconditionally.
+
+        Args:
+            now: The current clock reading shared by every engine's check;
+                ``None`` reads the router clock once.
+
+        Returns:
+            The earliest flush deadline still outstanding after this tick
+            (in the router clock's seconds), or ``None`` when no pending
+            batch carries one — what a wall-clock driver sleeps until.
+        """
+        next_deadline: float | None = None
+        for group in self._groups.values():
+            for engine in group.engines:
+                if now is None and engine.flush_deadline is not None:
+                    now = self.clock()
+                deadline = engine.tick(now)
+                if deadline is not None and (next_deadline is None
+                                             or deadline < next_deadline):
+                    next_deadline = deadline
+        return next_deadline
 
     # ------------------------------------------------------------------ #
     def submit(self, query: Query, index: int | None = None) -> str:
@@ -715,11 +866,17 @@ class FleetRouter:
         the report instead of aborting the run.
         """
         self._begin_scope()
+        ticking = self.has_flush_timeouts
         for query in queries:
             try:
                 self.submit(query)
             except AdmissionError:
-                continue  # counted in the group's shed tally
+                pass  # counted in the group's shed tally
+            # Tick even after a shed: a full group is exactly the state a
+            # flush deadline exists to clear — skipping the tick would shed
+            # the whole remaining workload while an overdue batch lingers.
+            if ticking:
+                self.tick()
         self.flush()
         return self.report()
 

@@ -15,11 +15,18 @@ through futures:
   spawned, and producers coordinate through the event loop alone.
 * :class:`StreamingRouter` — a :class:`~repro.serve.router.FleetRouter` whose
   per-relation micro-batch sizes are *adaptive*: an
-  :class:`AdaptiveBatchController` per replica group tracks a dispatch-latency
-  EWMA and grows/shrinks the group's batch size within
+  :class:`AdaptiveBatchController` per replica group tracks a latency EWMA
+  and grows/shrinks the group's batch size within
   ``[min_batch, batch_size]`` to keep the observed latency under a p95 SLO
   (router-wide ``slo_ms``, overridable per relation via
   :meth:`repro.serve.registry.ModelRegistry.register_table`'s ``slo_ms``).
+  The controller steers **end-to-end** latency by default
+  (``slo_scope="e2e"``: queueing delay plus dispatch — what a caller
+  observes); ``slo_scope="dispatch"`` restores the dispatch-only accounting
+  that lets a query sitting in a partially filled batch accrue unbounded,
+  unmeasured wait.  A flush deadline (``flush_after_ms``, router-wide or
+  per-relation) bounds that wait deterministically: ticks dispatch any batch
+  whose oldest query has exceeded it.
 
 Determinism is inherited, not re-implemented: every query's random stream is
 keyed by ``(seed, global submission index)`` alone, so **streaming ≡ batch
@@ -54,11 +61,14 @@ __all__ = ["AdaptiveBatchController", "StreamingRouter", "AsyncFleetClient",
 
 
 class AdaptiveBatchController:
-    """AIMD controller keeping a replica group's dispatch latency under an SLO.
+    """AIMD controller keeping a replica group's batch latency under an SLO.
 
     The controller watches every micro-batch dispatch of one relation's
     replica group and maintains an exponentially weighted moving average
-    (EWMA) of the dispatch latency.  Batch latency grows roughly linearly in
+    (EWMA) of the observed latency — the dispatch latency alone, or the
+    batch's worst end-to-end latency (queue wait + dispatch) when the
+    streaming router runs with ``slo_scope="e2e"``; the controller itself is
+    metric-agnostic.  Batch latency grows roughly linearly in
     the batch's query count (the batched sampler stacks one code-matrix row
     per sample path per query), so batch size is the control knob:
 
@@ -155,10 +165,12 @@ class AdaptiveBatchController:
         return self.slo_ms * self.headroom if self.slo_ms is not None else None
 
     def observe(self, latency_ms: float) -> int:
-        """Fold one dispatch latency into the EWMA; returns the new batch size.
+        """Fold one observed latency into the EWMA; returns the new batch size.
 
         Args:
-            latency_ms: Wall-clock latency of the dispatched micro-batch.
+            latency_ms: Observed latency of the dispatched micro-batch — the
+                dispatch time, or the batch's worst end-to-end latency under
+                e2e scoping.
 
         Returns:
             The batch size every engine of the group should use for its next
@@ -228,35 +240,52 @@ class StreamingRouter(FleetRouter):
     registry:
         The model fleet (as for :class:`~repro.serve.router.FleetRouter`).
     slo_ms:
-        Router-wide target p95 dispatch latency in milliseconds; ``None``
-        defers entirely to per-relation SLOs.
+        Router-wide target p95 latency in milliseconds (measured per
+        ``slo_scope``); ``None`` defers entirely to per-relation SLOs.
     adaptive:
         ``True`` forces adaptation on (relations without any SLO stay
         fixed), ``False`` disables it everywhere (the router then behaves
         exactly like a plain fleet router — the baseline mode of the
         ``serve_stream`` benchmark), and ``None`` (default) enables it
         exactly where an SLO exists.
+    slo_scope:
+        What latency the SLO is stated against.  ``"e2e"`` (default) feeds
+        each controller the batch's worst **end-to-end** latency — the
+        oldest query's queueing delay plus the dispatch — so the SLO covers
+        what a submitter actually waits; ``"dispatch"`` feeds the dispatch
+        latency alone (the pre-fix accounting, kept for comparison: it lets
+        queueing delay in partially filled batches go unsteered).
     min_batch:
         Lower clamp of every controller (default 1).
     ewma_alpha / headroom / grow_below:
         Controller tuning, see :class:`AdaptiveBatchController`.
     **router_kwargs:
         Everything :class:`~repro.serve.router.FleetRouter` accepts
-        (``batch_size`` doubles as each controller's ``max_batch``).
+        (``batch_size`` doubles as each controller's ``max_batch``;
+        ``flush_after_ms`` bounds queueing delay, which e2e scoping makes
+        visible).
     """
 
+    #: Valid ``slo_scope`` values.
+    SLO_SCOPES = ("dispatch", "e2e")
+
     def __init__(self, registry: ModelRegistry, *, slo_ms: float | None = None,
-                 adaptive: bool | None = None, min_batch: int = 1,
+                 adaptive: bool | None = None, slo_scope: str = "e2e",
+                 min_batch: int = 1,
                  ewma_alpha: float = 0.3, headroom: float = 0.8,
                  grow_below: float = 0.5, **router_kwargs) -> None:
         if slo_ms is not None and slo_ms <= 0:
             raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+        if slo_scope not in self.SLO_SCOPES:
+            raise ValueError(f"slo_scope must be one of {self.SLO_SCOPES}, "
+                             f"got {slo_scope!r}")
         super().__init__(registry, **router_kwargs)
         if min_batch < 1 or min_batch > self.batch_size:
             raise ValueError(f"min_batch must be in [1, {self.batch_size}], "
                              f"got {min_batch}")
         self.slo_ms = slo_ms
         self.adaptive = adaptive
+        self.slo_scope = slo_scope
         self.min_batch = min_batch
         self.ewma_alpha = ewma_alpha
         self.headroom = headroom
@@ -297,7 +326,12 @@ class StreamingRouter(FleetRouter):
         self._scope_marks[route] = controller.observations
 
         def hook(record, group=group, controller=controller):
-            size = controller.observe(record.latency_ms)
+            # e2e scope steers on the batch's worst submission-to-result
+            # latency, so queueing delay in partially filled batches shrinks
+            # the batch size exactly like slow dispatches do.
+            observed = (record.max_e2e_ms if self.slo_scope == "e2e"
+                        else record.latency_ms)
+            size = controller.observe(observed)
             for engine in group.engines:
                 engine.batch_size = size
 
@@ -361,6 +395,19 @@ class AsyncFleetClient:
     and submit in *any* order — the estimates equal the in-order batch run's
     (the invariance suite asserts this under shuffled asyncio arrival).
 
+    Two asyncio conveniences layer on top of the synchronous router:
+
+    * **Awaitable backpressure** — ``await client.submit_async(query)``
+      suspends the producer while the query's replica group is at
+      ``max_pending`` and resumes it once capacity frees, replacing
+      per-submit :class:`~repro.serve.router.AdmissionError` storms (and the
+      ``block`` policy's forced early dispatch) with cooperative queueing.
+    * **Wall-clock flush driver** — when the router carries a flush deadline
+      (``flush_after_ms``), a background task sleeps until the earliest
+      deadline and ticks the router, so a lone query in a partially filled
+      batch is dispatched within the bound even if no further submissions
+      ever arrive.
+
     Parameters
     ----------
     router:
@@ -368,15 +415,31 @@ class AsyncFleetClient:
         :class:`StreamingRouter`) to stream into.  The client chains onto
         the router's ``on_result`` observer; any previously installed
         observer keeps firing first.
+    flush_driver:
+        Whether to run the wall-clock flush driver: a background asyncio
+        task that sleeps until the router's earliest flush deadline and
+        ticks it, so a partially filled micro-batch dispatches within its
+        ``flush_after_ms`` even when no further submissions arrive.
+        ``None`` (default) starts the driver exactly when the router carries
+        any flush deadline; ``False`` disables it (the caller ticks the
+        router itself — what :func:`stream_workload` does to stay
+        deterministic under a virtual clock); ``True`` forces it on.
     """
 
-    def __init__(self, router: FleetRouter) -> None:
+    def __init__(self, router: FleetRouter, *,
+                 flush_driver: bool | None = None) -> None:
         self.router = router
         self._futures: dict[int, asyncio.Future] = {}
         #: Every index this client ever submitted: uniqueness is enforced for
         #: the client's whole lifetime, not just while a future is pending —
         #: reusing a dispatched index would silently share a random stream.
         self._used: set[int] = set()
+        self._flush_driver = flush_driver
+        self._driver_task: asyncio.Task | None = None
+        self._wakeup: asyncio.Event | None = None
+        #: Route -> producers suspended in :meth:`acquire`, woken (to re-check
+        #: capacity) whenever one of the route's results resolves.
+        self._admission_waiters: dict[str, list[asyncio.Future]] = {}
         self._prior_on_result = router.on_result
         # Pin one bound-method object: attribute access creates a fresh one
         # each time, so close() must compare against exactly what it installed.
@@ -396,6 +459,13 @@ class AsyncFleetClient:
         future = self._futures.pop(result.index, None)
         if future is not None and not future.cancelled():
             future.set_result(result)
+        # A resolved result means its micro-batch dispatched: the route's
+        # pending count dropped, so suspended producers may now be admitted.
+        waiters = self._admission_waiters.pop(result.route, None)
+        if waiters:
+            for waiter in waiters:
+                if not waiter.done():
+                    waiter.set_result(None)
 
     def submit(self, query: Query, index: int | None = None) -> asyncio.Future:
         """Stream one query in; returns the future of its routed result.
@@ -425,6 +495,7 @@ class AsyncFleetClient:
             ValueError: ``index`` was already submitted through this client.
         """
         loop = asyncio.get_running_loop()
+        self._ensure_driver(loop)
         if index is None:
             index = self.router.next_index
         if index in self._used:
@@ -439,7 +510,162 @@ class AsyncFleetClient:
             self._futures.pop(index, None)
             self._used.discard(index)
             raise
+        if self._wakeup is not None:
+            self._wakeup.set()  # a new pending batch may move the deadline
         return future
+
+    async def acquire(self, query: Query) -> str:
+        """Suspend until the query's replica group has admission capacity.
+
+        Awaitable backpressure: instead of the submit-time ``block`` early
+        dispatch or a ``shed`` :class:`AdmissionError`, a producer awaits
+        here and is resumed once the group's pending count drops below
+        ``max_pending`` (capacity frees when a micro-batch dispatches — by
+        filling up, by a flush deadline, or by another producer's flush).
+        Returns the resolved route; a group without a ``max_pending`` bound
+        admits immediately.
+
+        When the route carries **no flush deadline — or no flush driver is
+        running to fire one** — nothing would ever dispatch a partially
+        filled batch while every producer is suspended, so rather than
+        deadlock, the fullest replica is flushed early (exactly the
+        ``block`` policy's behaviour, made awaitable).
+
+        Raises:
+            RoutingError: The query names no servable relation.
+        """
+        route = self.router.resolve_route(query)
+        group = self.router.group(route)
+        loop = asyncio.get_running_loop()
+        self._ensure_driver(loop)
+        while group.max_pending is not None \
+                and group.pending >= group.max_pending:
+            # Waiting is only safe when something will actually fire the
+            # route's flush deadline: a *running* driver.  A configured
+            # deadline with no driver (flush_driver=False, or auto mode
+            # skipping a frozen virtual clock) would park every producer
+            # with nothing left to tick — deadlock, not backpressure.
+            driver_alive = (self._driver_task is not None
+                            and not self._driver_task.done())
+            if not driver_alive or not any(
+                    engine.flush_after_ms is not None
+                    for engine in group.engines):
+                fullest = max(group.engines,
+                              key=lambda engine: engine.pending)
+                fullest.flush()
+                continue
+            waiter = loop.create_future()
+            self._admission_waiters.setdefault(route, []).append(waiter)
+            try:
+                await waiter
+            finally:
+                pending = self._admission_waiters.get(route)
+                if pending and waiter in pending:
+                    pending.remove(waiter)
+        return route
+
+    async def submit_async(self, query: Query,
+                           index: int | None = None) -> asyncio.Future:
+        """Backpressure-aware :meth:`submit`: suspends until admitted.
+
+        Semantically ``await acquire(query)`` followed by :meth:`submit` —
+        the call returns (with the query's result future) only once the
+        query has been admitted to its replica group, so concurrent
+        producers throttle to the fleet's capacity instead of racing into
+        per-submit :class:`AdmissionError` storms under the ``shed`` policy.
+
+        Args:
+            query: The (table-qualified) query to estimate.
+            index: Explicit global submission index, as for :meth:`submit`.
+
+        Returns:
+            The query's result future (possibly already done).
+
+        Raises:
+            RoutingError: The query names no servable relation.
+            ValueError: ``index`` was already submitted through this client.
+        """
+        await self.acquire(query)
+        # No awaits sit between acquire()'s capacity re-check and this
+        # synchronous submit, so on a cooperative event loop the freed slot
+        # cannot be lost to a racing producer: the submit is admitted.  (A
+        # retry here would also double-count the group's shed tally, since
+        # ReplicaGroup.submit counts before raising.)
+        return self.submit(query, index=index)
+
+    # ------------------------------------------------------------------ #
+    def _ensure_driver(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Start the wall-clock flush driver once, if it is wanted.
+
+        In auto mode (``flush_driver=None``) the driver starts exactly when
+        the router carries a flush deadline *and* its clock moves with real
+        time — a fully virtual clock (a :class:`VirtualClock` with no
+        ``base``) can never make a deadline due by sleeping, so auto mode
+        leaves ticking to the caller there instead of spinning a task that
+        would wake forever for nothing.
+        """
+        if self._driver_task is not None:
+            return
+        wanted = self._flush_driver
+        if wanted is None:
+            frozen_clock = (hasattr(self.router.clock, "advance")
+                            and getattr(self.router.clock, "base", None) is None)
+            wanted = self.router.has_flush_timeouts and not frozen_clock
+        if not wanted:
+            return
+        self._wakeup = asyncio.Event()
+        self._driver_task = loop.create_task(self._drive_flushes())
+
+    def _abort(self, error: BaseException) -> None:
+        """Fail every unresolved future and suspended producer with ``error``.
+
+        The flush driver calls this when a timeout dispatch raises: the
+        error must surface through the futures awaiters already hold — a
+        dead driver with silently pending futures is exactly the hang class
+        :meth:`close` exists to prevent.
+        """
+        outstanding, self._futures = self._futures, {}
+        for future in outstanding.values():
+            if not future.done():
+                future.set_exception(error)
+        waiters, self._admission_waiters = self._admission_waiters, {}
+        for route_waiters in waiters.values():
+            for waiter in route_waiters:
+                if not waiter.done():
+                    waiter.set_exception(error)
+
+    async def _drive_flushes(self) -> None:
+        """Background task: sleep until the earliest flush deadline, tick it.
+
+        Every loop iteration ticks the router (dispatching whatever is
+        overdue) and then sleeps until the next deadline — or until a new
+        submission moves it.  With no deadline outstanding the task parks on
+        the wake-up event, so an idle client costs nothing.  If a timeout
+        dispatch raises, the error is propagated into every outstanding
+        future (see :meth:`_abort`) and the driver stops.
+        """
+        while True:
+            try:
+                deadline = self.router.tick()
+            except Exception as error:
+                self._abort(error)
+                # Clear the handle so the next submission can start a fresh
+                # driver: a dead driver left registered would silently void
+                # the flush-timeout guarantee for the rest of the client's
+                # life.
+                self._driver_task = None
+                return
+            if deadline is None:
+                await self._wakeup.wait()
+                self._wakeup.clear()
+                continue
+            delay = deadline - self.router.clock()
+            if delay > 0:
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), timeout=delay)
+                    self._wakeup.clear()
+                except asyncio.TimeoutError:
+                    pass  # deadline reached: the next tick() fires it
 
     def flush(self) -> None:
         """Dispatch every partially filled micro-batch, settling its futures."""
@@ -457,16 +683,47 @@ class AsyncFleetClient:
         return self.router.report()
 
     def close(self) -> None:
-        """Detach from the router, restoring its previous result observer."""
+        """Detach from the router and fail everything still unresolved.
+
+        Restores the router's previous result observer, stops the flush
+        driver, **cancels every outstanding result future** and every
+        producer suspended in :meth:`acquire` — a closed client must never
+        leave an awaiter suspended forever (the queries themselves may still
+        be pending inside the router; ``router.flush()`` dispatches them,
+        their results simply no longer resolve through this client).
+        Idempotent.
+        """
         if self.router.on_result is self._installed:
             self.router.on_result = self._prior_on_result
+        if self._driver_task is not None:
+            self._driver_task.cancel()
+            self._driver_task = None
+        outstanding, self._futures = self._futures, {}
+        for future in outstanding.values():
+            if not future.done():
+                future.cancel("AsyncFleetClient closed with the query's "
+                              "micro-batch still in flight")
+        waiters, self._admission_waiters = self._admission_waiters, {}
+        for route_waiters in waiters.values():
+            for waiter in route_waiters:
+                if not waiter.done():
+                    waiter.cancel("AsyncFleetClient closed while awaiting "
+                                  "admission")
 
     async def __aenter__(self) -> "AsyncFleetClient":
-        """Enter the streaming scope (no-op; symmetry with ``__aexit__``)."""
+        """Enter the streaming scope; starts the flush driver if wanted."""
+        self._ensure_driver(asyncio.get_running_loop())
         return self
 
     async def __aexit__(self, exc_type, exc, tb) -> None:
-        """Drain outstanding futures (on clean exit) and detach."""
+        """Drain outstanding futures (on clean exit) and detach.
+
+        On the exception path the drain is skipped — the queries of an
+        aborted scope are not worth finishing — and :meth:`close` cancels
+        every unresolved future instead, so concurrent awaiters observe
+        :class:`asyncio.CancelledError` rather than deadlocking on futures
+        nothing will ever resolve.
+        """
         try:
             if exc_type is None:
                 await self.drain()
@@ -475,7 +732,8 @@ class AsyncFleetClient:
 
 
 def stream_workload(router: FleetRouter, queries: list[Query], *,
-                    arrival_order: list[int] | None = None) -> FleetReport:
+                    arrival_order: list[int] | None = None,
+                    advance_ms: float | None = None) -> FleetReport:
     """Serve a workload through :class:`AsyncFleetClient` in a private loop.
 
     One-call bridge from list-shaped workloads to the streaming path, used by
@@ -487,11 +745,26 @@ def stream_workload(router: FleetRouter, queries: list[Query], *,
     order.  Producers yield to the event loop between submissions, so
     arrivals interleave like independent asyncio tasks.
 
+    The router is ticked after every submission, so flush deadlines
+    (``flush_after_ms``) fire inline on this call stack — there is no
+    background task, which keeps the batch pattern a pure function of the
+    clock.  With a wall clock that pattern depends on host timing (the
+    estimates never do); pass ``advance_ms`` with a
+    :class:`repro.serve.engine.VirtualClock` on the router to script the
+    timeline exactly — each submission then advances virtual time by that
+    many milliseconds before the tick, and timeout-triggered flushes land on
+    byte-stable batch boundaries, run after run.
+
     Args:
         router: The fleet router (or streaming router) to serve through.
         queries: The workload; element ``i`` is submitted with index ``i``.
         arrival_order: Permutation of ``range(len(queries))`` giving the
             order in which queries *arrive*; ``None`` = in order.
+        advance_ms: Milliseconds of *virtual* inter-arrival time: the
+            router's clock (which must expose ``advance()``, i.e. be a
+            :class:`~repro.serve.engine.VirtualClock`) is advanced by this
+            much after each submission.  ``None`` (default) leaves the clock
+            alone — real time, real deadlines.
 
     Returns:
         The merged :class:`~repro.serve.router.FleetReport`, results in
@@ -507,16 +780,30 @@ def stream_workload(router: FleetRouter, queries: list[Query], *,
     if sorted(order) != list(range(len(queries))):
         raise ValueError("arrival_order must be a permutation of "
                          "range(len(queries))")
+    if advance_ms is not None:
+        if advance_ms < 0:
+            raise ValueError(f"advance_ms must be non-negative, "
+                             f"got {advance_ms}")
+        if not hasattr(router.clock, "advance"):
+            raise ValueError("advance_ms needs an advanceable router clock "
+                             "(pass clock=VirtualClock() to the router)")
     router._begin_scope()
 
     async def main() -> FleetReport:
-        client = AsyncFleetClient(router)
+        # Deadlines are ticked inline below, not from a background driver:
+        # the flush pattern stays a deterministic function of the clock.
+        client = AsyncFleetClient(router, flush_driver=False)
+        ticking = router.has_flush_timeouts
         try:
             for position in order:
                 try:
                     client.submit(queries[position], index=position)
                 except AdmissionError:
                     pass  # counted in the group's shed tally, like run()
+                if advance_ms is not None:
+                    router.clock.advance(advance_ms / 1000.0)
+                if ticking:
+                    router.tick()
                 await asyncio.sleep(0)  # yield: interleave like real producers
             return await client.drain()
         finally:

@@ -36,6 +36,9 @@ def test_streaming_slo_example_smoke(capsys):
     assert "p95 SLO" in output
     assert "Adaptive stream" in output
     assert "Steady-state stream" in output
+    # The multi-producer backpressure demo served everything without shedding.
+    assert re.search(r"Backpressure: 16 queries from 4 producers, 0 shed",
+                     output)
     # Same tolerance as the invariance suite: differently shaped micro-batch
     # GEMMs may round the last bit differently, so demand "tiny", not "0".
     drift = float(re.search(r"drift: ([0-9.]+e[+-]\d+)", output).group(1))

@@ -445,12 +445,43 @@ class TestServeCLI:
             serve_main(["--adaptive"])
         with pytest.raises(SystemExit, match="--slo-ms.*--tables"):
             serve_main(["--slo-ms", "50"])
+        with pytest.raises(SystemExit, match="--slo-scope.*--tables"):
+            serve_main(["--slo-scope", "dispatch"])
+        with pytest.raises(SystemExit, match="--flush-after-ms.*--tables"):
+            serve_main(["--flush-after-ms", "20"])
+        with pytest.raises(SystemExit, match="--min-batch.*--tables"):
+            serve_main(["--min-batch", "2"])
         with pytest.raises(SystemExit, match="--adaptive requires --slo-ms"):
             serve_main(["--tables", "users", "--adaptive"])
         with pytest.raises(SystemExit, match="without --adaptive"):
             serve_main(["--tables", "users", "--slo-ms", "50"])
-        with pytest.raises(SystemExit, match="non-negative"):
+        # --slo-scope / --min-batch steer the adaptive controller only:
+        # silently ignoring them would let the user believe they applied.
+        with pytest.raises(SystemExit, match="--slo-scope does nothing"):
+            serve_main(["--tables", "users", "--slo-scope", "dispatch"])
+        with pytest.raises(SystemExit, match="--min-batch does nothing"):
+            serve_main(["--tables", "users", "--min-batch", "2"])
+
+    def test_latency_knobs_validated(self):
+        """--slo-ms, --flush-after-ms and --min-batch fail fast with a clear
+        one-line error instead of being accepted and misbehaving downstream."""
+        with pytest.raises(SystemExit, match="--slo-ms must be positive"):
             serve_main(["--tables", "users", "--slo-ms", "-5"])
+        with pytest.raises(SystemExit, match="--slo-ms must be positive"):
+            serve_main(["--tables", "users", "--slo-ms", "0"])
+        with pytest.raises(SystemExit,
+                           match="--flush-after-ms must be positive"):
+            serve_main(["--tables", "users", "--flush-after-ms", "0"])
+        with pytest.raises(SystemExit,
+                           match="--flush-after-ms must be positive"):
+            serve_main(["--tables", "users", "--flush-after-ms", "-2"])
+        with pytest.raises(SystemExit, match="--min-batch must be at least 1"):
+            serve_main(["--tables", "users", "--min-batch", "0"])
+        with pytest.raises(SystemExit,
+                           match=r"--min-batch \(9\) must not exceed "
+                                 r"--batch-size \(4\)"):
+            serve_main(["--tables", "users", "--min-batch", "9",
+                        "--batch-size", "4"])
 
     def test_stream_adaptive_end_to_end(self, tmp_path, capsys):
         """--stream --adaptive serves the workload through the asyncio client
@@ -478,6 +509,37 @@ class TestServeCLI:
             assert trace[0] == 4
             # The impossibly tight SLO forces every controller to shrink.
             assert min(trace) < 4
+
+    def test_flush_timeout_and_e2e_scope_end_to_end(self, tmp_path, capsys):
+        """--flush-after-ms / --slo-scope / --min-batch flow through to the
+        streaming router, and the report carries the queueing-delay and
+        end-to-end percentiles alongside the dispatch ones."""
+        report_path = os.path.join(tmp_path, "e2e.json")
+        exit_code = serve_main([
+            "--tables", "users", "sessions",
+            "--rows", "400", "--num-queries", "8", "--epochs", "1",
+            "--samples", "40", "--batch-size", "4", "--seed", "5",
+            "--stream", "--adaptive", "--slo-ms", "500",
+            "--slo-scope", "e2e", "--flush-after-ms", "30", "--min-batch", "2",
+            "--json", report_path,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "p95 e2e SLO" in output
+        assert "Flush timeout on" in output
+        assert "queue wait p50/p95/p99" in output
+        assert "end-to-end p50/p95/p99" in output
+        with open(report_path) as handle:
+            report = json.load(handle)
+        fleet = report["fleet"]
+        assert {"p50", "p95", "p99"} == set(fleet["queue_wait_ms"])
+        assert {"p50", "p95", "p99"} == set(fleet["e2e_ms"])
+        assert fleet["timeout_flushes"] >= 0
+        for route_stats in fleet["routes"].values():
+            assert {"p50", "p95", "p99"} == set(route_stats["queue_wait_ms"])
+            assert {"p50", "p95", "p99"} == set(route_stats["e2e_ms"])
+            assert route_stats["e2e_ms"]["p95"] >= \
+                route_stats["latency_ms"]["p95"] - 1e-9
 
     def test_stream_without_adaptive_matches_batched_run(self, tmp_path):
         """--stream alone changes the submission path, never the estimates."""

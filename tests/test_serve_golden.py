@@ -18,6 +18,7 @@ import golden_serve
 from repro.serve import (
     FleetRouter,
     StreamingRouter,
+    VirtualClock,
     load_workload,
     stream_workload,
 )
@@ -72,6 +73,29 @@ def test_golden_workload_streaming_equals_batch(batch_size):
     assert [result.index for result in streamed.results] == \
         list(range(len(workload)))
     np.testing.assert_allclose(streamed.selectivities, batch.selectivities,
+                               rtol=0.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("batch_size", (1, 64))
+def test_golden_workload_flush_timeout_preserves_estimates(batch_size):
+    """The flush-timeout determinism contract, pinned on the golden
+    workload: with the virtual-clock timer enabled (2 ms per arrival against
+    a 5 ms deadline) timeout-triggered flushes rebatch the stream — yet the
+    estimates equal ``FleetRouter.run`` on the in-order list exactly, at
+    batch_size 1 and 64."""
+    registry = golden_serve.build_fleet()
+    workload = load_workload(golden_serve.WORKLOAD_PATH)
+    batch = FleetRouter(registry, batch_size=batch_size,
+                        num_samples=golden_serve.GOLDEN["num_samples"],
+                        seed=golden_serve.GOLDEN["seed"]).run(workload)
+    router = StreamingRouter(registry, batch_size=batch_size,
+                             num_samples=golden_serve.GOLDEN["num_samples"],
+                             seed=golden_serve.GOLDEN["seed"],
+                             flush_after_ms=5.0, clock=VirtualClock())
+    timed = stream_workload(router, workload, advance_ms=2.0)
+    if batch_size == 64:
+        assert timed.stats.timeout_flushes > 0  # the deadline really fired
+    np.testing.assert_allclose(timed.selectivities, batch.selectivities,
                                rtol=0.0, atol=1e-12)
 
 

@@ -28,6 +28,7 @@ from repro.serve import (
     FleetRouter,
     ModelRegistry,
     StreamingRouter,
+    VirtualClock,
     generate_mixed_workload,
     load_workload,
     run_fleet_sequential,
@@ -160,6 +161,51 @@ def test_adaptive_batching_matches_sequential_baseline(fleet, workload,
     # The impossible SLO really did move the batch size mid-workload.
     assert any(min(stats["batch_trace"]) < 8
                for stats in report.stats.routes.values())
+
+
+@pytest.mark.parametrize("batch_size", (1, 64))
+def test_flush_timeout_changes_batches_not_estimates(fleet, workload,
+                                                     baseline, batch_size):
+    """Timeout-triggered flushes move *when* micro-batches dispatch, never
+    *what* they estimate.  Under a virtual clock advanced 2 ms per arrival
+    with a 5 ms flush deadline, batch boundaries are fully deterministic:
+    at batch_size=64 partial batches repeatedly hit the deadline (so the
+    batch pattern differs from the single-final-flush run), at batch_size=1
+    every submission dispatches immediately and the deadline never fires —
+    and both reproduce the sequential baseline exactly."""
+    def timed_run():
+        router = StreamingRouter(fleet, batch_size=batch_size,
+                                 num_samples=_SAMPLES, seed=_SEED,
+                                 default_route=_DEFAULT_ROUTE,
+                                 flush_after_ms=5.0, clock=VirtualClock())
+        report = stream_workload(router, workload, advance_ms=2.0)
+        batches = {route: stats["num_batches"]
+                   for route, stats in report.stats.routes.items()}
+        return report, batches
+
+    report, batches = timed_run()
+    np.testing.assert_allclose(report.selectivities, baseline.selectivities,
+                               rtol=0.0, atol=1e-12)
+    if batch_size == 1:
+        # Dispatch-on-submit never leaves a batch pending long enough.
+        assert report.stats.timeout_flushes == 0
+    else:
+        # The deadline really rebatched the workload: partial batches were
+        # force-dispatched instead of riding to the final drain flush.
+        assert report.stats.timeout_flushes > 0
+        untimed_router = StreamingRouter(fleet, batch_size=batch_size,
+                                         num_samples=_SAMPLES, seed=_SEED,
+                                         default_route=_DEFAULT_ROUTE)
+        untimed = stream_workload(untimed_router, workload)
+        assert sum(batches.values()) > sum(
+            stats["num_batches"] for stats in untimed.stats.routes.values())
+        # Every query's wait is bounded by the deadline plus one 2 ms
+        # arrival tick (deadlines are checked per arrival).
+        assert all(result.queue_wait_ms <= 5.0 + 2.0 + 1e-9
+                   for result in report.results)
+    # The virtual clock makes the flush pattern byte-stable, run after run.
+    _, batches_again = timed_run()
+    assert batches_again == batches
 
 
 @pytest.mark.parametrize("replicas", _REPLICAS[1:])

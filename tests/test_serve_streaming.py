@@ -25,6 +25,7 @@ from repro.serve import (
     ModelRegistry,
     RoutingError,
     StreamingRouter,
+    VirtualClock,
     generate_bursty_workload,
     generate_mixed_workload,
     latency_percentiles,
@@ -407,3 +408,423 @@ def test_latency_percentiles_weighting_and_edges():
         latency_percentiles([1.0], weights=[1, 2])
     assert latency_percentiles([5.0], weights=[0]) == \
         {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_latency_percentiles_rejects_negative_weights():
+    """Negative weights are a caller bug: silently clipping them (the old
+    ``np.maximum(counts, 0)``) would report percentiles over a different
+    population than asked for, so they must raise instead."""
+    with pytest.raises(ValueError, match="non-negative"):
+        latency_percentiles([1.0, 2.0], weights=[3, -1])
+    # The non-negative path is untouched: zeros drop, positives repeat.
+    assert latency_percentiles([1.0, 2.0], weights=[0, 2])["p50"] == 2.0
+
+
+# --------------------------------------------------------------------------- #
+# VirtualClock, queue-wait accounting and flush deadlines
+# --------------------------------------------------------------------------- #
+def test_virtual_clock_advances_monotonically():
+    clock = VirtualClock()
+    assert clock() == 0.0
+    assert clock.advance(1.5) == 1.5
+    assert clock() == 1.5
+    with pytest.raises(ValueError, match="backwards"):
+        clock.advance(-0.1)
+    # A based clock rides on its underlying time source.
+    real = {"now": 10.0}
+    based = VirtualClock(start=1.0, base=lambda: real["now"])
+    assert based() == 11.0
+    assert based.advance(2.0) == 13.0
+    real["now"] = 12.0
+    assert based() == 15.0  # the base moved underneath
+
+
+def test_engine_flush_deadline_and_tick(fleet, workload):
+    """A partially filled micro-batch dispatches once its oldest query has
+    waited past flush_after_ms — and only then."""
+    clock = VirtualClock()
+    router = StreamingRouter(fleet, batch_size=8, num_samples=_SAMPLES,
+                             seed=2, flush_after_ms=5.0, clock=clock)
+    route = router.resolve_route(workload[0])
+    router.submit(workload[0])
+    engine = max(router.group(route).engines, key=lambda e: e.pending)
+    assert engine.flush_deadline == pytest.approx(5e-3)
+    assert router.tick() == pytest.approx(5e-3)  # not due yet: deadline back
+    assert engine.pending == 1
+    clock.advance(4e-3)
+    assert router.tick() == pytest.approx(5e-3)  # still 1 ms early
+    clock.advance(2e-3)
+    assert router.tick() is None                 # overdue: dispatched
+    assert engine.pending == 0
+    report = router.report()
+    assert report.stats.timeout_flushes == 1
+    assert report.stats.routes[route]["timeout_flushes"] == 1
+    [result] = report.results
+    assert result.queue_wait_ms == pytest.approx(6.0)
+    assert result.e2e_ms == pytest.approx(6.0)  # virtual dispatch takes 0 ms
+
+
+def test_flush_deadline_validation(fleet):
+    with pytest.raises(ValueError, match="flush_after_ms"):
+        StreamingRouter(fleet, flush_after_ms=0.0)
+    with pytest.raises(ValueError, match="flush_after_ms"):
+        FleetRouter(fleet, flush_after_ms=-1.0)
+
+
+def test_registry_flush_after_overrides_router(fleet):
+    fleet.set_flush_after("sessions", 250.0)
+    try:
+        router = FleetRouter(fleet, batch_size=4, num_samples=_SAMPLES,
+                             seed=2, flush_after_ms=80.0)
+        assert router.effective_flush_after("sessions") == 250.0
+        assert router.effective_flush_after("users") == 80.0
+        assert router.engine("sessions").flush_after_ms == 250.0
+        assert router.engine("users").flush_after_ms == 80.0
+        assert router.has_flush_timeouts
+    finally:
+        fleet.set_flush_after("sessions", None)
+    assert fleet.flush_after_ms("sessions") is None
+    with pytest.raises(ValueError, match="flush_after_ms"):
+        fleet.set_flush_after("sessions", 0.0)
+    with pytest.raises(KeyError):
+        fleet.set_flush_after("nope", 10.0)
+    registry = ModelRegistry(default_config=_CONFIG)
+    name = registry.register_table(make_users(num_users=16, seed=2),
+                                   flush_after_ms=40.0)
+    assert registry.flush_after_ms(name) == 40.0
+    assert registry.size_report()[name]["flush_after_ms"] == 40.0
+    with pytest.raises(ValueError, match="flush_after_ms"):
+        registry.register_table(make_users(num_users=16, seed=3),
+                                name="users_b", flush_after_ms=-5.0)
+
+
+def test_report_exposes_queue_wait_and_e2e_percentiles(fleet, workload):
+    router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES, seed=2)
+    report = router.run(workload)
+    for scope in (report.stats.as_dict(), *report.stats.routes.values()):
+        assert {"p50", "p95", "p99"} == set(scope["latency_ms"])
+        assert {"p50", "p95", "p99"} == set(scope["queue_wait_ms"])
+        assert {"p50", "p95", "p99"} == set(scope["e2e_ms"])
+    assert report.queue_wait_percentiles == report.stats.queue_wait_ms
+    assert report.e2e_percentiles == report.stats.e2e_ms
+    assert report.dispatch_percentiles == report.stats.latency_ms
+    # Per query, end-to-end is wait + dispatch, so the fleet e2e p95 can
+    # never undercut the dispatch p95 and every result carries both fields.
+    assert report.e2e_percentiles["p95"] >= \
+        report.dispatch_percentiles["p95"] - 1e-9
+    for result in report.results:
+        assert result.e2e_ms >= result.queue_wait_ms >= 0.0
+
+
+def test_stream_workload_advance_ms_requires_virtual_clock(fleet, workload):
+    router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES, seed=2)
+    with pytest.raises(ValueError, match="advanceable"):
+        stream_workload(router, workload, advance_ms=1.0)
+    clocked = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES,
+                              seed=2, clock=VirtualClock())
+    with pytest.raises(ValueError, match="non-negative"):
+        stream_workload(clocked, workload, advance_ms=-1.0)
+
+
+# --------------------------------------------------------------------------- #
+# SLO scope: end-to-end vs dispatch-only accounting
+# --------------------------------------------------------------------------- #
+def test_slo_scope_validation(fleet):
+    with pytest.raises(ValueError, match="slo_scope"):
+        StreamingRouter(fleet, slo_ms=5.0, slo_scope="both")
+
+
+def test_e2e_scope_steers_on_queue_wait_dispatch_scope_does_not(fleet,
+                                                                workload):
+    """The measurement-bug regression, isolated: under a virtual clock the
+    dispatch latency is exactly zero, so *all* latency is queueing delay.
+    The e2e-scoped controller sees it and shrinks; the dispatch-scoped
+    controller (the pre-fix accounting) is blind to it and never moves."""
+    reports = {}
+    controllers = {}
+    for scope in ("dispatch", "e2e"):
+        clock = VirtualClock()
+        router = StreamingRouter(fleet, batch_size=8, num_samples=_SAMPLES,
+                                 seed=2, slo_ms=5.0, adaptive=True,
+                                 slo_scope=scope, flush_after_ms=50.0,
+                                 clock=clock)
+        reports[scope] = stream_workload(router, workload, advance_ms=2.0)
+        controllers[scope] = {route: router.controller(route).shrinks
+                              for route in reports[scope].stats.routes}
+    assert all(shrinks == 0 for shrinks in controllers["dispatch"].values())
+    assert any(shrinks > 0 for shrinks in controllers["e2e"].values())
+    # Accounting scope steers batch sizes, never estimates.
+    np.testing.assert_allclose(reports["e2e"].selectivities,
+                               reports["dispatch"].selectivities,
+                               rtol=0.0, atol=1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# AsyncFleetClient: close/cancel semantics and the __aexit__ hang regression
+# --------------------------------------------------------------------------- #
+def test_close_cancels_outstanding_futures(fleet, workload):
+    router = StreamingRouter(fleet, batch_size=64, num_samples=_SAMPLES,
+                             seed=2)
+
+    async def main():
+        client = AsyncFleetClient(router)
+        future = client.submit(workload[0])
+        assert not future.done()
+        client.close()
+        assert future.cancelled()
+        assert client.outstanding == 0
+        # close() is idempotent and leaves the router usable: flushing
+        # dispatches the still-pending query without resolving anything
+        # through the closed client.
+        client.close()
+        router.flush()
+        return router.report()
+
+    report = asyncio.run(main())
+    assert report.stats.num_queries == 1
+
+
+def test_aexit_on_exception_cancels_futures_instead_of_hanging(fleet,
+                                                               workload):
+    """Regression for the __aexit__ deadlock: leaving the context manager via
+    an exception used to skip drain() *and* leave every in-flight future
+    pending forever, deadlocking concurrent awaiters.  close() must cancel
+    them so awaiters observe CancelledError promptly."""
+    router = StreamingRouter(fleet, batch_size=64, num_samples=_SAMPLES,
+                             seed=2)
+
+    async def main():
+        observed = {}
+
+        async def awaiter(future):
+            try:
+                await future
+            except asyncio.CancelledError:
+                observed["cancelled"] = True
+
+        with pytest.raises(RuntimeError, match="boom"):
+            async with AsyncFleetClient(router) as client:
+                future = client.submit(workload[0])  # in-flight micro-batch
+                task = asyncio.ensure_future(awaiter(future))
+                await asyncio.sleep(0)
+                raise RuntimeError("boom")
+        # The awaiter must finish on its own — a hang here is the old bug
+        # (wait_for bounds the test instead of stalling the suite forever).
+        await asyncio.wait_for(task, timeout=5.0)
+        return observed
+
+    observed = asyncio.run(main())
+    assert observed == {"cancelled": True}
+    assert router.on_result is None  # detached despite the exception
+
+
+# --------------------------------------------------------------------------- #
+# Awaitable backpressure
+# --------------------------------------------------------------------------- #
+def test_submit_async_suspends_at_capacity_and_resumes_on_timeout_flush(
+        fleet):
+    """With the group at max_pending, submit_async suspends instead of
+    raising AdmissionError; the wall-clock flush driver dispatches the
+    partial batch within flush_after_ms, freeing capacity and resuming the
+    producer — no shed, no forced early dispatch at submit time."""
+    router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES,
+                             seed=2, max_pending=2, overflow="shed",
+                             flush_after_ms=30.0)
+    generator = WorkloadGenerator(fleet.relation("users"), min_filters=1,
+                                  max_filters=2, seed=17)
+    queries = [query.qualified("users") for query in generator.generate(3)]
+
+    async def main():
+        async with AsyncFleetClient(router) as client:
+            await client.submit_async(queries[0])
+            await client.submit_async(queries[1])
+            suspended = asyncio.ensure_future(client.submit_async(queries[2]))
+            await asyncio.sleep(0)
+            assert not suspended.done()  # producer parked at max_pending
+            await asyncio.wait_for(suspended, timeout=10.0)
+            report = await client.drain()
+        return report
+
+    report = asyncio.run(main())
+    assert report.stats.num_queries == 3
+    assert report.stats.shed == 0  # backpressure replaced shedding
+    assert report.stats.timeout_flushes >= 1
+
+
+def test_submit_async_without_flush_timeout_falls_back_to_early_dispatch(
+        fleet):
+    """A route with no flush deadline cannot free capacity passively — a
+    lone producer awaiting it would deadlock — so acquire() degrades to the
+    block policy's early dispatch and the submission completes inline."""
+    router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES,
+                             seed=2, max_pending=2, overflow="block")
+    generator = WorkloadGenerator(fleet.relation("users"), min_filters=1,
+                                  max_filters=2, seed=18)
+    queries = [query.qualified("users") for query in generator.generate(3)]
+
+    async def main():
+        async with AsyncFleetClient(router) as client:
+            futures = [await client.submit_async(query) for query in queries]
+            report = await client.drain()
+        return futures, report
+
+    futures, report = asyncio.run(main())
+    assert report.stats.num_queries == 3
+    assert [future.result().index for future in futures] == [0, 1, 2]
+
+
+def test_flush_driver_dispatches_lone_submission(fleet, workload):
+    """A single query in a partially filled batch resolves within the flush
+    bound even though no further submissions, flushes or drains happen —
+    the wall-clock driver ticks the router on its own."""
+    router = StreamingRouter(fleet, batch_size=64, num_samples=_SAMPLES,
+                             seed=2, flush_after_ms=20.0)
+
+    async def main():
+        async with AsyncFleetClient(router) as client:
+            future = client.submit(workload[0])
+            assert not future.done()
+            result = await asyncio.wait_for(future, timeout=10.0)
+            await client.drain()
+        return result
+
+    result = asyncio.run(main())
+    assert result.index == 0
+
+
+# --------------------------------------------------------------------------- #
+# Flush-deadline regressions
+# --------------------------------------------------------------------------- #
+class _SteppingClock:
+    """Clock advancing a fixed step on every reading — time passes mid-run()."""
+
+    def __init__(self, step: float) -> None:
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def test_run_ticks_flush_deadlines_even_when_submissions_shed(fleet):
+    """Regression: run() used to skip tick() whenever a submission was shed,
+    so once a group hit max_pending its overdue partial batch was never
+    flushed and the entire remaining workload was shed — even though the
+    flush deadline existed precisely to clear that state."""
+    generator = WorkloadGenerator(fleet.relation("users"), min_filters=1,
+                                  max_filters=2, seed=21)
+    queries = [query.qualified("users") for query in generator.generate(6)]
+    router = StreamingRouter(fleet, batch_size=8, num_samples=_SAMPLES,
+                             seed=2, max_pending=1, overflow="shed",
+                             flush_after_ms=5.0, clock=_SteppingClock(3e-3))
+    report = router.run(queries)
+    # The deadline fired mid-run and freed capacity: more than the first
+    # query was served, and the flushes really were timeout-triggered.
+    assert report.stats.timeout_flushes > 0
+    assert report.stats.num_queries > 1
+    assert report.stats.num_queries + report.stats.shed == len(queries)
+
+
+def test_flush_driver_propagates_dispatch_errors_to_awaiters(fleet,
+                                                             workload):
+    """Regression: a dispatch error inside the background flush driver used
+    to kill the task silently, leaving every outstanding future pending
+    forever — the error must surface through the futures instead."""
+    router = StreamingRouter(fleet, batch_size=64, num_samples=_SAMPLES,
+                             seed=2, flush_after_ms=10.0)
+
+    async def main():
+        client = AsyncFleetClient(router)
+        try:
+            future = client.submit(workload[0])
+            route = router.resolve_route(workload[0])
+            engine = max(router.group(route).engines,
+                         key=lambda engine: engine.pending)
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("sampler exploded")
+
+            engine._sampler.estimate_selectivity_batch = boom
+            with pytest.raises(RuntimeError, match="sampler exploded"):
+                await asyncio.wait_for(future, timeout=10.0)
+        finally:
+            client.close()
+
+    asyncio.run(main())
+
+
+def test_flush_driver_auto_mode_skips_frozen_virtual_clocks(fleet, workload):
+    """A fully virtual clock can never make a deadline due by sleeping, so
+    auto mode must not spin a wall-clock driver against it (forcing
+    flush_driver=True remains the caller's explicit choice)."""
+    frozen = StreamingRouter(fleet, batch_size=64, num_samples=_SAMPLES,
+                             seed=2, flush_after_ms=5.0, clock=VirtualClock())
+
+    async def main(client):
+        async with client:
+            client.submit(workload[0])
+            started = client._driver_task is not None
+            frozen.flush()  # settle the future so exit drains cleanly
+        return started
+
+    assert asyncio.run(main(AsyncFleetClient(frozen))) is False
+    assert asyncio.run(main(AsyncFleetClient(frozen, flush_driver=True))) \
+        is True
+
+
+def test_flush_driver_restarts_after_dispatch_error(fleet, workload):
+    """Regression: a dead driver used to stay registered, silently voiding
+    the flush-timeout guarantee for every later submission on the same
+    client — after an error the next submission must start a fresh driver."""
+    router = StreamingRouter(fleet, batch_size=64, num_samples=_SAMPLES,
+                             seed=2, flush_after_ms=10.0)
+
+    async def main():
+        client = AsyncFleetClient(router)
+        try:
+            poisoned = client.submit(workload[0])
+            route = router.resolve_route(workload[0])
+            engine = max(router.group(route).engines,
+                         key=lambda engine: engine.pending)
+            real_batch = engine._sampler.estimate_selectivity_batch
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("sampler exploded")
+
+            engine._sampler.estimate_selectivity_batch = boom
+            with pytest.raises(RuntimeError, match="sampler exploded"):
+                await asyncio.wait_for(poisoned, timeout=10.0)
+            # Heal the engine and resubmit: the lone query must still be
+            # dispatched by the flush timeout, i.e. a new driver is running.
+            engine._sampler.estimate_selectivity_batch = real_batch
+            retried = client.submit(workload[0], index=500)
+            result = await asyncio.wait_for(retried, timeout=10.0)
+            return result
+        finally:
+            client.close()
+
+    assert asyncio.run(main()).index == 500
+
+
+def test_submit_async_does_not_deadlock_without_running_driver(fleet):
+    """Regression: acquire() used to park producers whenever flush_after_ms
+    was configured — even with no driver to ever fire it (frozen virtual
+    clock, or flush_driver=False) — deadlocking the stream.  With nothing
+    to free capacity passively it must fall back to early dispatch."""
+    router = StreamingRouter(fleet, batch_size=4, num_samples=_SAMPLES,
+                             seed=2, max_pending=2, overflow="block",
+                             flush_after_ms=5.0, clock=VirtualClock())
+    generator = WorkloadGenerator(fleet.relation("users"), min_filters=1,
+                                  max_filters=2, seed=23)
+    queries = [query.qualified("users") for query in generator.generate(4)]
+
+    async def main():
+        async with AsyncFleetClient(router) as client:
+            assert client._driver_task is None  # frozen clock: no auto driver
+            for query in queries:
+                await client.submit_async(query)
+            return await client.drain()
+
+    report = asyncio.run(asyncio.wait_for(main(), timeout=10.0))
+    assert report.stats.num_queries == len(queries)
