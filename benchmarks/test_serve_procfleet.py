@@ -1,0 +1,94 @@
+"""Cross-process sharded fleet — ProcessFleet vs the single-process router.
+
+Not a reproduction of a paper table: this benchmark guards the scale-out
+claim of :class:`repro.serve.ProcessFleet` — sharding a fleet of relation
+replicas across N OS worker processes multiplies serving capacity without
+changing a single estimate.  Each query's random stream is keyed by
+``(seed, global workload index)`` alone and models cross the process
+boundary losslessly via :mod:`repro.nn.serialization`, so the process fleet
+matches the in-process :class:`repro.serve.FleetRouter` bit-for-bit
+(``fleet_drift == 0.0``) and a ``batch_size=1`` pass matches
+:func:`repro.serve.run_fleet_sequential` exactly
+(``max_estimate_drift == 0.0``).
+
+Throughput is asserted on *capacity* — the critical path is the largest
+per-worker busy-CPU time, which is what wall-clock becomes once each worker
+owns a core — because CI hosts may expose a single core, where OS processes
+cannot overlap in wall time no matter how well the fleet shards.  The JSON
+report records ``host_cpus`` and the honest ``wall_speedup`` alongside.
+
+Run with ``REPRO_BENCH_SMOKE=1`` the configuration shrinks to finish in
+seconds and the speedup floor is dropped (tiny workloads underutilise the
+batch path); the JSON report is written to ``results/serve_procfleet.json``
+either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from conftest import save_report
+
+from repro.bench import serve_procfleet
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+@pytest.mark.slow
+def test_serve_procfleet(bench_scale, results_dir):
+    if _SMOKE:
+        scale = dataclasses.replace(bench_scale, serve_proc_rows=700,
+                                    serve_proc_users=120,
+                                    serve_proc_queries=24,
+                                    serve_proc_samples=200,
+                                    serve_proc_epochs=2,
+                                    serve_proc_batch_size=6,
+                                    serve_proc_workers=2)
+    else:
+        scale = bench_scale
+    result = serve_procfleet(scale=scale)
+    save_report(results_dir, "serve_procfleet", result["text"])
+    with open(os.path.join(results_dir, "serve_procfleet.json"), "w") as handle:
+        json.dump({key: result[key] for key in
+                   ("speedup", "wall_speedup", "max_estimate_drift",
+                    "batched_drift", "fleet_drift", "workers", "host_cpus",
+                    "spawn_s", "sequential_wall_s", "fleet_cold_s",
+                    "fleet_wall_s", "procfleet_cold_s",
+                    "procfleet_wall_s", "critical_path_s", "sequential_qps",
+                    "fleet_qps", "wall_qps", "capacity_qps", "worker_stats",
+                    "num_queries", "sequential", "fleet", "procfleet")},
+                  handle, indent=1)
+
+    # The process boundary must be invisible in the numbers: the process
+    # fleet matches the in-process router bit-for-bit (same micro-batch
+    # composition, caches off on both sides), and the batch_size=1 pass
+    # walks the sequential baseline's exact code path on the far side of a
+    # pipe.
+    assert result["fleet_drift"] == 0.0
+    assert result["max_estimate_drift"] == 0.0
+
+    # Every query was served exactly once, and every worker pulled its
+    # weight: the round-robin shard layout leaves no worker idle.
+    assert result["procfleet"]["num_queries"] == result["num_queries"]
+    tallies = result["worker_stats"]
+    assert len(tallies) == result["workers"]
+    assert all(stats["num_queries"] > 0 for stats in tallies.values())
+    assert sum(stats["num_queries"] for stats in tallies.values()) \
+        == result["num_queries"]
+
+    if _SMOKE:
+        assert result["speedup"] > 0.0
+        assert result["wall_speedup"] > 0.0
+    else:
+        # The scale-out claim: with the workload sharded across 4 workers,
+        # the critical path (largest per-worker busy-CPU time) is at most
+        # ~1/2.5 of the single-process fleet's wall time.  Wall-clock
+        # speedup is only asserted when the host actually has the cores to
+        # overlap the workers.
+        assert result["speedup"] >= 2.5
+        if result["host_cpus"] and result["host_cpus"] >= result["workers"]:
+            assert result["wall_speedup"] >= 1.5

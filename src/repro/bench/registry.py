@@ -43,6 +43,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
     "serve_stream": ("Async streaming submission and SLO-aware adaptive "
                      "batching under bursty arrivals",
                      experiments.serve_stream),
+    "serve_procfleet": ("Cross-process sharded fleet: N OS worker processes "
+                        "vs the single-process router",
+                        experiments.serve_procfleet),
 }
 
 

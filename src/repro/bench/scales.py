@@ -95,6 +95,17 @@ class ExperimentScale:
     #: SLO: a partially filled micro-batch may spend at most this share of
     #: the latency budget waiting before it is force-dispatched.
     serve_stream_flush_fraction: float = 0.25
+    # Cross-process fleet experiment (serve_procfleet): the same mixed
+    # workload served by the single-process fleet and by a ProcessFleet of
+    # serve_proc_workers OS processes (one replica per worker), reporting
+    # wall-clock and critical-path capacity throughput plus estimate drift.
+    serve_proc_rows: int = 2_500
+    serve_proc_users: int = 300
+    serve_proc_queries: int = 192
+    serve_proc_samples: int = 600
+    serve_proc_batch_size: int = 12
+    serve_proc_epochs: int = 5
+    serve_proc_workers: int = 4
 
 
 SMOKE = ExperimentScale(
@@ -172,6 +183,13 @@ PAPER = ExperimentScale(
     serve_stream_burst=16,
     serve_stream_hot_fraction=0.8,
     serve_stream_slo_fraction=0.35,
+    serve_proc_rows=8_000,
+    serve_proc_users=800,
+    serve_proc_queries=480,
+    serve_proc_samples=1_200,
+    serve_proc_batch_size=16,
+    serve_proc_epochs=12,
+    serve_proc_workers=4,
 )
 
 

@@ -142,6 +142,34 @@ ever change a number::
 --slo-ms 50`` is the command-line form; the ``serve_stream`` benchmark
 compares fixed vs adaptive batching under bursty arrivals
 (:func:`generate_bursty_workload`).
+
+Cross-process serving
+---------------------
+Everything above shares one Python process and therefore one GIL.
+:class:`ProcessFleet` is the scale-out tier: it spawns N OS worker
+processes, ships each trained model to its workers via
+:mod:`repro.nn.serialization`, and serves the same routing contract —
+queries route to a relation, then to a replica by the same deterministic
+crc32 hash, then to whichever worker hosts that replica
+(:meth:`ModelRegistry.worker_assignments`).  Because estimates depend only
+on ``(seed, global index, num_samples)``, the worker count is invisible in
+the numbers: ``workers=1 ≡ workers=N``, bit for bit.  Micro-batches and
+results travel over ``multiprocessing`` pipes, results keep the
+arrival-stamped ``queue_wait_ms``/``e2e_ms`` accounting, the merged
+:class:`FleetReport` gains a per-worker ``stats.workers`` breakdown, a
+crashed worker surfaces as a typed :class:`WorkerError` (never a hang), and
+:meth:`ProcessFleet.close` is an idempotent graceful drain::
+
+    from repro.serve import ProcessFleet
+
+    with ProcessFleet(registry, workers=4, log_dir="procfleet-logs") as fleet:
+        report = fleet.run(mixed_workload)
+    print(report.stats.workers["0"]["busy_cpu_ms"])
+
+``python -m repro.serve --tables users sessions --workers 4 --log-dir logs``
+is the command-line form (SIGTERM triggers the same graceful drain); the
+``serve_procfleet`` benchmark measures the scale-out claim and
+``docs/operations.md`` is the operator's handbook.
 """
 
 from .cache import (
@@ -162,6 +190,13 @@ from .engine import (
     query_rng,
     run_sequential,
 )
+from .procfleet import (
+    ProcessFleet,
+    WorkerError,
+    WorkerInfo,
+    export_relation,
+    restore_estimator,
+)
 from .registry import ModelRegistry
 from .router import (
     AdmissionError,
@@ -172,6 +207,8 @@ from .router import (
     RoutedResult,
     RoutingError,
     latency_percentiles,
+    replica_for,
+    resolve_route,
     run_fleet_sequential,
 )
 from .stream import (
@@ -212,6 +249,13 @@ __all__ = [
     "AdmissionError",
     "run_fleet_sequential",
     "latency_percentiles",
+    "replica_for",
+    "resolve_route",
+    "ProcessFleet",
+    "WorkerError",
+    "WorkerInfo",
+    "export_relation",
+    "restore_estimator",
     "AdaptiveBatchController",
     "StreamingRouter",
     "AsyncFleetClient",

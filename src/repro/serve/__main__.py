@@ -40,12 +40,20 @@ Multi-model usage (a registry of relations behind one router)::
     # alone (queueing delay is then reported but unsteered).
     python -m repro.serve --tables users sessions --stream \
         --adaptive --slo-ms 50 --slo-scope dispatch --num-queries 96
+
+    # Cross-process serving: shard the fleet's replicas across 4 OS worker
+    # processes (same estimates as --workers 1, bit for bit), with one log
+    # file per worker.  SIGTERM triggers a graceful drain: pending
+    # micro-batches flush and their results are collected before exit.
+    python -m repro.serve --tables users sessions --workers 4 \
+        --replicas 4 --log-dir procfleet-logs --num-queries 96
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 
 import numpy as np
@@ -63,6 +71,7 @@ from ..query import WorkloadGenerator, true_selectivities
 from ..query.metrics import q_error
 from .cache import canonical_query_key
 from .engine import EstimationEngine, run_sequential
+from .procfleet import ProcessFleet
 from .registry import ModelRegistry
 from .router import FleetRouter, RoutingError, run_fleet_sequential
 from .stream import StreamingRouter, stream_workload
@@ -173,6 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--min-batch", type=int, default=1, metavar="N",
                         help="lower clamp of the adaptive micro-batch size "
                              "(multi-model mode; must be in [1, batch size])")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="serve from N OS worker processes instead of "
+                             "in-process engines (multi-model mode; estimates "
+                             "are identical for any N; 0 = in-process)")
+    parser.add_argument("--log-dir", metavar="PATH",
+                        help="directory for per-worker log files "
+                             "(worker-<id>.log; requires --workers)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--compare-sequential", action="store_true",
                         help="also run the unbatched baseline and print the speedup")
@@ -307,6 +323,9 @@ def _serve_multi(arguments) -> int:
               f"({entry['num_rows']} rows x {entry['num_columns']} cols"
               f"{', join' if entry['is_join'] else ''})")
     print(f"Fleet model storage: {registry.size_bytes() / 1e6:.2f} MB")
+
+    if arguments.workers:
+        return _serve_procfleet(arguments, registry, queries)
 
     router_kwargs = dict(batch_size=arguments.batch_size,
                          num_samples=arguments.samples,
@@ -449,6 +468,102 @@ def _serve_multi(arguments) -> int:
     return 0
 
 
+def _serve_procfleet(arguments, registry, queries) -> int:
+    """Serve a prepared mixed workload from a cross-process fleet."""
+    fleet = ProcessFleet(registry, workers=arguments.workers,
+                         batch_size=arguments.batch_size,
+                         num_samples=arguments.samples,
+                         use_cache=not arguments.no_cache,
+                         cache_entries=arguments.cache_entries,
+                         seed=arguments.seed,
+                         flush_after_ms=arguments.flush_after_ms,
+                         log_dir=arguments.log_dir)
+    for info in fleet.workers:
+        hosted = ", ".join(f"{route}/{replica}" for route, replica in info.keys)
+        log_note = f" -> {info.log_path}" if info.log_path else ""
+        print(f"Worker {info.worker_id} (pid {info.pid}): {hosted}{log_note}")
+
+    def _drain_on_sigterm(signum, frame):
+        # SystemExit unwinds through the ``with fleet:`` block below, whose
+        # __exit__ is the graceful drain: pending micro-batches flush and
+        # their results are collected before the workers stop.
+        raise SystemExit(128 + signum)
+
+    previous = signal.signal(signal.SIGTERM, _drain_on_sigterm)
+    try:
+        with fleet:
+            try:
+                report = fleet.run(queries)
+            except RoutingError as error:
+                raise SystemExit(f"unroutable query: {error}") from None
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    stats = report.stats
+
+    print(f"\nServed {stats.num_queries} queries across {stats.num_models} "
+          f"models on {arguments.workers} worker processes "
+          f"({stats.queries_per_second:.1f} queries/s of summed worker "
+          f"dispatch time)")
+    if stats.latency_ms is not None:
+        print(f"  dispatch latency p50/p95/p99: "
+              f"{stats.latency_ms['p50']:.1f} / {stats.latency_ms['p95']:.1f} "
+              f"/ {stats.latency_ms['p99']:.1f} ms")
+    if stats.e2e_ms is not None:
+        print(f"  end-to-end p50/p95/p99:       "
+              f"{stats.e2e_ms['p50']:.1f} / {stats.e2e_ms['p95']:.1f} / "
+              f"{stats.e2e_ms['p99']:.1f} ms")
+    if stats.timeout_flushes:
+        print(f"  {stats.timeout_flushes} micro-batches dispatched by the "
+              f"flush timeout")
+    for route, route_stats in stats.routes.items():
+        print(f"  {route:<24} {route_stats['num_queries']:>4} queries in "
+              f"{route_stats['num_batches']} batches on "
+              f"{route_stats['num_replicas']} replicas, "
+              f"{route_stats['queries_per_second']:8.1f} queries/s")
+    for worker_id, entry in (stats.workers or {}).items():
+        print(f"  worker {worker_id:<17} {entry['num_queries']:>4} queries in "
+              f"{entry['num_batches']} batches, "
+              f"busy CPU {entry['busy_cpu_ms']:.0f} ms "
+              f"({', '.join(entry['engines'])})")
+
+    document = {"fleet": stats.as_dict(),
+                "estimates": [result.selectivity for result in report.results],
+                "routes": [result.route for result in report.results]}
+
+    if arguments.compare_sequential:
+        baseline = run_fleet_sequential(registry, queries,
+                                        num_samples=arguments.samples,
+                                        seed=arguments.seed)
+        speedup = (baseline.stats.elapsed_s / stats.elapsed_s
+                   if stats.elapsed_s > 0 else float("inf"))
+        drift = max((abs(result.selectivity
+                         - baseline.results[result.index].selectivity)
+                     for result in report.results), default=0.0)
+        print(f"\nSequential fleet baseline: "
+              f"{baseline.stats.queries_per_second:.1f} queries/s -> "
+              f"routed speedup {speedup:.1f}x (max estimate drift {drift:.2e})")
+        document["sequential"] = baseline.stats.as_dict()
+        document["speedup"] = speedup
+        document["max_estimate_drift"] = drift
+
+    if arguments.q_errors:
+        errors = []
+        for result in report.results:
+            relation = registry.relation(result.route)
+            truth = true_selectivities(relation, [result.query])[0]
+            errors.append(q_error(result.cardinality, truth * relation.num_rows))
+        if errors:
+            print(f"\nq-error: median {np.median(errors):.2f}, "
+                  f"p95 {np.quantile(errors, 0.95):.2f}, max {np.max(errors):.2f}")
+        document["q_errors"] = errors
+
+    if arguments.json:
+        with open(arguments.json, "w") as handle:
+            json.dump(document, handle, indent=1)
+        print(f"\nReport written to {arguments.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; validates flag combinations and runs the right mode."""
     arguments = build_parser().parse_args(argv)
@@ -466,10 +581,30 @@ def main(argv: list[str] | None = None) -> int:
             ("--slo-scope", arguments.slo_scope != "e2e"),
             ("--flush-after-ms", arguments.flush_after_ms is not None),
             ("--min-batch", arguments.min_batch != 1),
+            ("--workers", arguments.workers != 0),
+            ("--log-dir", arguments.log_dir is not None),
         ) if used]
         if fleet_flags:
             raise SystemExit(f"{', '.join(fleet_flags)} require(s) --tables "
                              "(multi-model mode)")
+    if arguments.workers < 0:
+        raise SystemExit("--workers must be non-negative (0 = in-process)")
+    if arguments.log_dir is not None and not arguments.workers:
+        raise SystemExit("--log-dir requires --workers: only worker "
+                         "processes write per-worker log files")
+    if arguments.workers:
+        unsupported = [flag for flag, used in (
+            ("--stream", arguments.stream),
+            ("--adaptive", arguments.adaptive),
+            ("--result-cache", arguments.result_cache),
+            ("--max-pending", arguments.max_pending != 0),
+            ("--overflow", arguments.overflow != "block"),
+        ) if used]
+        if unsupported:
+            raise SystemExit(
+                f"{', '.join(unsupported)} and --workers are mutually "
+                "exclusive: the process fleet serves fixed micro-batches "
+                "without admission control, result caching or streaming")
     if arguments.replicas < 1:
         raise SystemExit("--replicas must be at least 1")
     if arguments.max_pending < 0:

@@ -1,0 +1,931 @@
+"""Cross-process sharded serving: a fleet of OS worker processes.
+
+Everything the serve stack shipped so far — replicas, caches, streaming,
+SLOs — lives in one Python process and is therefore GIL-bound.
+:class:`ProcessFleet` is the scale-out tier: it spawns N OS worker processes,
+each hosting one or more ``(relation, replica)`` engines with its own
+:class:`~repro.serve.engine.EstimationEngine` and conditional caches, and
+speaks the *same routing contract* as :class:`~repro.serve.router.FleetRouter`:
+
+* **Placement survives the process boundary.**  A query routes to its
+  relation (:func:`repro.serve.router.resolve_route`, shared code, not a
+  copy), then to a replica by the same deterministic
+  ``crc32("relation:index")`` hash (:func:`repro.serve.router.replica_for`),
+  and only *then* to whichever worker hosts that replica
+  (:meth:`repro.serve.registry.ModelRegistry.worker_assignments`).  Because
+  every per-query random stream is keyed by ``(seed, global index)`` and
+  every ``(relation, replica)`` engine sees the exact same micro-batch
+  sequence regardless of which process it runs in, ``workers=1`` and
+  ``workers=N`` return **bit-identical** estimates — the invariance grid in
+  ``tests/test_serve_invariance.py`` proves it.
+* **Models ship, they are not retrained.**  :func:`export_relation` snapshots
+  a trained estimator into a picklable payload (table + config + ``.npz``
+  weight bytes via :mod:`repro.nn.serialization`); :func:`restore_estimator`
+  rebuilds it in the worker, loads the weights and puts the model in eval
+  mode.  Payloads are built *before* any process is spawned, so a failing
+  registry fails fast with no children left behind.
+* **Micro-batches travel over pipes.**  The parent keeps the per-replica
+  pending queues (with parent-clock arrival stamps) and ships a batch the
+  moment it fills — workers compute while the parent keeps submitting.
+  Results come back as ``(index, selectivity)`` pairs plus the worker-side
+  dispatch latency and busy-CPU time; the parent reconstructs full
+  :class:`~repro.serve.engine.EstimateResult` records, computes the same
+  arrival-stamped ``queue_wait_ms``/``e2e_ms`` accounting the single-process
+  fleet reports, and merges everything through the router's own
+  ``_merge_reports`` into a :class:`~repro.serve.router.FleetReport` whose
+  ``stats.workers`` carries the per-worker breakdown.
+* **Failures surface, they do not hang.**  A worker that dies mid-batch (or
+  reports a remote exception) raises a typed :class:`WorkerError` naming the
+  worker, its exit code and its log file within ``recv_timeout_s`` — never an
+  indefinite ``recv()``.  :meth:`ProcessFleet.close` is an idempotent
+  graceful drain: pending micro-batches are flushed, in-flight results
+  collected, workers told to stop, and stragglers terminated.
+
+See ``docs/operations.md`` for the operator's view: launching, per-worker log
+layout, drain semantics and a troubleshooting table.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing as mp
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+
+from ..core.estimator import NaruEstimator
+from ..nn.serialization import load_state_dict, save_state_dict
+from ..query.predicates import Query
+from .engine import (BatchRecord, EngineReport, EngineStats, EstimateResult,
+                     EstimationEngine)
+from .registry import ModelRegistry
+from .router import (FleetReport, _merge_reports, replica_for, resolve_route)
+
+__all__ = ["WorkerError", "WorkerInfo", "ProcessFleet", "export_relation",
+           "restore_estimator", "worker_main"]
+
+#: Granularity of the parent's liveness checks while waiting on workers.
+_POLL_S = 0.05
+
+
+# --------------------------------------------------------------------- #
+# Model shipping
+# --------------------------------------------------------------------- #
+def export_relation(registry: ModelRegistry, name: str) -> dict:
+    """Snapshot one relation's trained estimator into a picklable payload.
+
+    Builds and fits the estimator if the registry has not yet (so all
+    training happens in the parent, before any worker exists), then captures
+    everything a worker needs to serve the relation: the table, the model
+    config, the trained weights as in-memory ``.npz`` bytes
+    (:func:`repro.nn.serialization.save_state_dict`) and the serving row
+    count.  Raises ``TypeError`` for estimators that do not expose a config
+    and a state-dict model — only registry-built Naru estimators can cross a
+    process boundary.
+    """
+    estimator = registry.estimator(name)
+    model = getattr(estimator, "model", None)
+    config = getattr(estimator, "config", None)
+    if model is None or config is None or not hasattr(model, "state_dict"):
+        raise TypeError(
+            f"relation {name!r} is served by {type(estimator).__name__}, "
+            "which does not expose a config and a state-dict model; "
+            "ProcessFleet can only ship Naru-style estimators to workers")
+    buffer = io.BytesIO()
+    save_state_dict(model.state_dict(), buffer)
+    return {"name": name, "table": estimator.table, "config": config,
+            "weights": buffer.getvalue(), "num_rows": estimator.num_rows}
+
+
+def restore_estimator(payload: dict):
+    """Rebuild a served estimator from an :func:`export_relation` payload.
+
+    The constructor deterministically rebuilds the architecture from
+    ``(table, config)``; the shipped weights overwrite the fresh parameters
+    in place and the model is put in eval mode, exactly matching the parent's
+    post-``fit()`` state — a restored estimator answers bit-identically to
+    the one it was exported from.
+    """
+    estimator = NaruEstimator(payload["table"], payload["config"])
+    estimator.model.load_state_dict(load_state_dict(io.BytesIO(payload["weights"])))
+    estimator.model.eval()
+    estimator._fitted = True
+    if payload["num_rows"] != estimator.num_rows:
+        estimator.set_row_count(payload["num_rows"])
+    return estimator
+
+
+# --------------------------------------------------------------------- #
+# Errors and worker identity
+# --------------------------------------------------------------------- #
+class WorkerError(RuntimeError):
+    """A worker process died, misbehaved or timed out.
+
+    Raised in the *parent* whenever a worker cannot answer: the process
+    exited (``exit_code`` carries its code), its pipe hit EOF, it reported a
+    remote exception (``remote_traceback`` carries the formatted worker-side
+    traceback) or it failed to answer within the fleet's ``recv_timeout_s``.
+    Carries ``worker_id`` and ``log_path`` so an operator knows exactly which
+    log file to read — see the troubleshooting table in
+    ``docs/operations.md``.
+    """
+
+    def __init__(self, worker_id: int, message: str, *,
+                 exit_code: int | None = None,
+                 log_path: str | None = None,
+                 remote_traceback: str | None = None) -> None:
+        details = [message]
+        if exit_code is not None:
+            details.append(f"exit code {exit_code}")
+        if log_path is not None:
+            details.append(f"log: {log_path}")
+        super().__init__(f"worker {worker_id}: " + "; ".join(details)
+                         + (f"\n--- worker traceback ---\n{remote_traceback}"
+                            if remote_traceback else ""))
+        self.worker_id = worker_id
+        self.exit_code = exit_code
+        self.log_path = log_path
+        self.remote_traceback = remote_traceback
+
+
+@dataclass(frozen=True)
+class WorkerInfo:
+    """Identity of one live worker: id, OS pid, log file and hosted engines."""
+
+    worker_id: int
+    pid: int
+    log_path: str | None
+    #: The ``(relation, replica)`` engines this worker hosts.
+    keys: tuple[tuple[str, int], ...]
+
+
+# --------------------------------------------------------------------- #
+# The worker side
+# --------------------------------------------------------------------- #
+class _WorkerLog:
+    """Append-only per-worker log file (no-op when the fleet runs log-less)."""
+
+    def __init__(self, path: str | None, worker_id: int) -> None:
+        self._handle = open(path, "a", encoding="utf-8") if path else None
+        self._worker_id = worker_id
+
+    def write(self, message: str) -> None:
+        """Append one timestamped line and flush (logs must survive a crash)."""
+        if self._handle is None:
+            return
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+        self._handle.write(f"{stamp} worker-{self._worker_id} {message}\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file, if any."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def worker_main(worker_id: int, conn, spec: dict) -> None:
+    """Entry point of one worker process: serve micro-batches until told to stop.
+
+    The protocol over ``conn`` (one duplex pipe to the parent) is strictly
+    request/response and FIFO:
+
+    * ``("batch", batch_id, route, replica, [(index, query), ...])`` — answer
+      the micro-batch on the ``(route, replica)`` engine (built lazily from
+      the shipped payload on first use) and reply ``("result", worker_id,
+      batch_id, [(index, selectivity), ...], latency_ms, busy_cpu_ms)``,
+      where ``latency_ms`` is the engine's dispatch latency and
+      ``busy_cpu_ms`` the CPU time (:func:`time.process_time`) the dispatch
+      consumed — the quantity the bench's capacity accounting aggregates.
+    * ``("reset",)`` — start a fresh workload scope on every engine (caches
+      survive, exactly like the single-process fleet).
+    * ``("report",)`` — reply ``("report", worker_id, {key: cache_stats})``.
+    * ``("stop",)`` — reply ``("stopped", worker_id)`` and exit.
+
+    Any worker-side exception is formatted and sent up as ``("error",
+    worker_id, traceback)`` before the process exits, so the parent can raise
+    a typed :class:`WorkerError` instead of hanging.  EOF on the pipe means
+    the parent is gone; the worker exits quietly.
+    """
+    import signal
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent owns Ctrl-C
+    log = _WorkerLog(spec.get("log_path"), worker_id)
+    engine_config = spec["engine"]
+    estimators: dict[str, object] = {}
+    engines: dict[tuple[str, int], EstimationEngine] = {}
+    sink: list[EstimateResult] = []
+    records: list[BatchRecord] = []
+
+    def engine_for(route: str, replica: int) -> EstimationEngine:
+        key = (route, replica)
+        engine = engines.get(key)
+        if engine is None:
+            estimator = estimators.get(route)
+            if estimator is None:
+                build_start = time.perf_counter()
+                estimator = restore_estimator(spec["payloads"][route])
+                estimators[route] = estimator
+                log.write(f"restored model {route!r} in "
+                          f"{(time.perf_counter() - build_start) * 1000:.1f}ms")
+            engine = EstimationEngine(
+                estimator, batch_size=1,
+                num_samples=engine_config["num_samples"],
+                use_cache=engine_config["use_cache"],
+                cache_entries=engine_config["cache_entries"],
+                seed=engine_config["seed"],
+                result_sink=sink.append, batch_hook=records.append)
+            engines[key] = engine
+            log.write(f"engine up for {route!r} replica {replica}")
+        return engine
+
+    try:
+        log.write(f"ready pid={os.getpid()} "
+                  f"keys={sorted(spec['keys'])}")
+        conn.send(("ready", worker_id, os.getpid()))
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "batch":
+                _, batch_id, route, replica, items = message
+                engine = engine_for(route, replica)
+                # The parent owns batching: dispatch exactly this batch.
+                engine.batch_size = max(len(items), 1)
+                del sink[:]
+                del records[:]
+                busy_start = time.process_time()
+                for index, query in items:
+                    engine.submit(query, index=index)
+                engine.flush()
+                busy_cpu_ms = (time.process_time() - busy_start) * 1000.0
+                record = records[-1]
+                conn.send(("result", worker_id, batch_id,
+                           [(result.index, result.selectivity)
+                            for result in sink],
+                           record.latency_ms, busy_cpu_ms))
+                log.write(f"batch {batch_id} {route!r}/{replica} "
+                          f"n={len(items)} latency={record.latency_ms:.2f}ms "
+                          f"busy_cpu={busy_cpu_ms:.2f}ms")
+            elif kind == "reset":
+                for engine in engines.values():
+                    engine.reset()
+                log.write("reset (new workload scope)")
+            elif kind == "report":
+                conn.send(("report", worker_id,
+                           {key: engine.cache_stats
+                            for key, engine in engines.items()}))
+            elif kind == "stop":
+                log.write("stopping (graceful drain complete)")
+                conn.send(("stopped", worker_id))
+                return
+            else:
+                raise ValueError(f"unknown message kind {kind!r}")
+    except EOFError:
+        log.write("parent pipe closed; exiting")
+    except Exception:
+        formatted = traceback.format_exc()
+        log.write("error\n" + formatted)
+        try:
+            conn.send(("error", worker_id, formatted))
+        except Exception:
+            pass
+    finally:
+        log.close()
+
+
+# --------------------------------------------------------------------- #
+# The parent side
+# --------------------------------------------------------------------- #
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("worker_id", "process", "conn", "log_path", "stopped")
+
+    def __init__(self, worker_id, process, conn, log_path) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.log_path = log_path
+        self.stopped = False
+
+
+class _Inflight:
+    """One micro-batch shipped to a worker and awaiting its results."""
+
+    __slots__ = ("route", "replica", "worker_id", "batch_index", "items",
+                 "arrivals", "timeout_flush")
+
+    def __init__(self, route, replica, worker_id, batch_index, items,
+                 arrivals, timeout_flush) -> None:
+        self.route = route
+        self.replica = replica
+        self.worker_id = worker_id
+        self.batch_index = batch_index
+        self.items = items            # [(index, query), ...] in ship order
+        self.arrivals = arrivals      # parent-clock submit stamp per query
+        self.timeout_flush = timeout_flush
+
+
+class ProcessFleet:
+    """Serve a model fleet from N OS worker processes.
+
+    Behaves like :class:`~repro.serve.router.FleetRouter` from the caller's
+    side — ``submit``/``flush``/``tick``/``run``/``report`` with the same
+    routing, placement and determinism contract — but each ``(relation,
+    replica)`` engine lives in a worker process chosen by the registry's
+    deterministic round-robin assignment.  Estimates depend only on ``(seed,
+    global index, num_samples)``; the worker count is invisible in the
+    numbers (``workers=1 ≡ workers=N``, bit for bit).
+
+    Parameters
+    ----------
+    registry:
+        The model fleet.  Every relation is built, fitted and snapshotted in
+        the parent *before* any worker spawns, so a failing registry raises
+        here with no child processes left behind.
+    workers:
+        Number of OS worker processes to spawn.
+    replicas:
+        Optional fleet-wide replica override (``None`` reads each relation's
+        registered count).  More replicas than workers is fine (workers host
+        several engines); more workers than engines leaves workers idle.
+    batch_size:
+        Per-replica micro-batch capacity, applied in the parent: a replica's
+        batch ships to its worker the moment it fills.
+    num_samples, use_cache, cache_entries, seed:
+        Engine knobs with :class:`~repro.serve.router.FleetRouter` semantics.
+        The ``cache_entries`` budget is split evenly across all replica
+        engines; worker-side caches are per-engine (process boundaries make
+        the router's group-shared cache impossible), so with ``replicas > 1``
+        cache hit patterns — never estimates beyond float round-off — may
+        differ from the single-process fleet.
+    default_route:
+        Relation serving unqualified queries (defaults to the registry's
+        only relation when it has exactly one).
+    flush_after_ms:
+        Parent-side flush deadline: :meth:`tick` ships any partially filled
+        batch whose oldest query has waited this long.
+    log_dir:
+        Directory for per-worker log files (``worker-<id>.log``, created if
+        missing); ``None`` disables worker logging.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default;
+        ``"spawn"`` is supported — payloads travel as pickled process
+        arguments, not inherited memory).
+    recv_timeout_s:
+        How long the parent waits on a worker before raising
+        :class:`WorkerError` — the bound that turns a crash into a typed
+        error instead of a hang.
+    clock:
+        Zero-argument seconds callable stamping arrivals and receipts
+        (``time.perf_counter`` by default); injectable for deterministic
+        accounting tests.
+    """
+
+    def __init__(self, registry: ModelRegistry, *, workers: int = 2,
+                 replicas: int | None = None, batch_size: int = 32,
+                 num_samples: int | None = None, use_cache: bool = True,
+                 cache_entries: int = 262144, seed: int = 0,
+                 default_route: str | None = None,
+                 flush_after_ms: float | None = None,
+                 log_dir: str | None = None,
+                 start_method: str | None = None,
+                 recv_timeout_s: float = 120.0, clock=None) -> None:
+        if len(registry) == 0:
+            raise ValueError("the registry has no relations to serve")
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if replicas is not None and replicas < 1:
+            raise ValueError(f"replicas must be at least 1, got {replicas}")
+        if flush_after_ms is not None and flush_after_ms <= 0:
+            raise ValueError(f"flush_after_ms must be positive, got "
+                             f"{flush_after_ms}")
+        if default_route is not None and default_route not in registry:
+            raise ValueError(f"default route {default_route!r} is not a "
+                             f"registered relation ({', '.join(registry.names)})")
+        if default_route is None and len(registry) == 1:
+            default_route = registry.names[0]
+        self.registry = registry
+        self.num_workers = workers
+        self.batch_size = batch_size
+        self.num_samples = num_samples
+        self.use_cache = use_cache
+        self.cache_entries = cache_entries
+        self.seed = seed
+        self.default_route = default_route
+        self.flush_after_ms = flush_after_ms
+        self.recv_timeout_s = recv_timeout_s
+        self.clock = clock if clock is not None else time.perf_counter
+
+        self._replica_counts = {
+            name: (replicas if replicas is not None
+                   else registry.replicas(name))
+            for name in registry.names}
+        engines_total = sum(self._replica_counts.values())
+        self.cache_entries_per_model = max(
+            1, cache_entries // max(engines_total if use_cache else 0, 1))
+        self._assignment = registry.worker_assignments(
+            workers, replicas=self._replica_counts)
+
+        # Train + snapshot every model BEFORE spawning anything: a broken
+        # registry must fail fast with no children to clean up.
+        payloads = {name: export_relation(registry, name)
+                    for name in registry.names}
+        self._rows = {name: registry.serving_rows(name)
+                      for name in registry.names}
+        self._samples_by_route = {
+            name: (num_samples
+                   or getattr(payloads[name]["config"], "progressive_samples",
+                              None) or 1000)
+            for name in registry.names}
+
+        if log_dir is not None:
+            os.makedirs(log_dir, exist_ok=True)
+        self.log_dir = log_dir
+
+        self._pending: dict[tuple[str, int], list] = {}
+        self._inflight: dict[int, _Inflight] = {}
+        self._batch_counters: dict[tuple[str, int], int] = {}
+        self._results: dict[tuple[str, int], list[EstimateResult]] = {}
+        self._records: dict[tuple[str, int], list[BatchRecord]] = {}
+        self._cache_stats: dict[tuple[str, int], dict | None] = {}
+        self._worker_tallies: dict[int, dict] = {}
+        self._next_index = 0
+        self._next_batch_id = 0
+        self._closed = False
+
+        context = mp.get_context(start_method)
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._infos: dict[int, WorkerInfo] = {}
+        try:
+            for worker_id in range(workers):
+                keys = sorted(key for key, wid in self._assignment.items()
+                              if wid == worker_id)
+                spec = {
+                    "keys": keys,
+                    "payloads": {route: payloads[route]
+                                 for route, _ in keys},
+                    "engine": {
+                        "num_samples": num_samples,
+                        "use_cache": use_cache,
+                        "cache_entries": self.cache_entries_per_model,
+                        "seed": seed,
+                    },
+                    "log_path": (os.path.join(log_dir,
+                                              f"worker-{worker_id}.log")
+                                 if log_dir is not None else None),
+                }
+                self._handles[worker_id] = self._start_worker(
+                    worker_id, context, spec)
+            for worker_id, handle in self._handles.items():
+                self._infos[worker_id] = self._await_ready(handle)
+        except BaseException:
+            # Partial construction must not leak children: terminate whatever
+            # was already spawned, then re-raise the original failure.
+            self._shutdown(timeout_s=5.0, graceful=False)
+            self._closed = True
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _start_worker(self, worker_id: int, context, spec: dict) -> _WorkerHandle:
+        """Spawn one worker process and return its parent-side handle."""
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(
+            target=worker_main, name=f"procfleet-worker-{worker_id}",
+            args=(worker_id, child_conn, spec), daemon=True)
+        process.start()
+        child_conn.close()  # the worker owns its end now
+        return _WorkerHandle(worker_id, process, parent_conn,
+                             spec.get("log_path"))
+
+    def _await_ready(self, handle: _WorkerHandle) -> WorkerInfo:
+        """Block until one worker reports ready (or fail with WorkerError)."""
+        deadline = self.clock() + self.recv_timeout_s
+        while not handle.conn.poll(_POLL_S):
+            if not handle.process.is_alive():
+                raise self._worker_failure(
+                    handle.worker_id, "died before reporting ready")
+            if self.clock() > deadline:
+                raise WorkerError(
+                    handle.worker_id,
+                    f"did not report ready within {self.recv_timeout_s:.0f}s",
+                    log_path=handle.log_path)
+        message = handle.conn.recv()
+        if message[0] == "error":
+            raise WorkerError(handle.worker_id, "failed during startup",
+                              log_path=handle.log_path,
+                              remote_traceback=message[2])
+        if message[0] != "ready":
+            raise WorkerError(handle.worker_id,
+                              f"spoke out of turn during startup: {message[0]!r}",
+                              log_path=handle.log_path)
+        keys = sorted(key for key, wid in self._assignment.items()
+                      if wid == handle.worker_id)
+        return WorkerInfo(worker_id=handle.worker_id, pid=message[2],
+                          log_path=handle.log_path, keys=tuple(keys))
+
+    @property
+    def workers(self) -> list[WorkerInfo]:
+        """Identity of every worker (id, pid, log file, hosted engines)."""
+        return [self._infos[worker_id] for worker_id in sorted(self._infos)]
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed (submissions are refused)."""
+        return self._closed
+
+    @property
+    def next_index(self) -> int:
+        """The global index :meth:`submit` will assign to its next query."""
+        return self._next_index
+
+    @property
+    def pending(self) -> int:
+        """Queries accepted but not yet shipped to a worker."""
+        return sum(len(items) for items in self._pending.values())
+
+    @property
+    def in_flight(self) -> int:
+        """Queries shipped to workers whose results have not returned yet."""
+        return sum(len(entry.items) for entry in self._inflight.values())
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Hard-kill one worker (SIGKILL) — a failure-injection drill hook.
+
+        The next :meth:`collect`/:meth:`run` touching the dead worker raises
+        :class:`WorkerError` within ``recv_timeout_s``; ``docs/operations.md``
+        uses this to demonstrate crash handling.
+        """
+        self._handles[worker_id].process.kill()
+
+    def __enter__(self) -> "ProcessFleet":
+        """Context-manager entry: the fleet itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: graceful drain via :meth:`close`."""
+        self.close()
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Gracefully drain and stop the fleet; idempotent.
+
+        Flushes every pending micro-batch, collects in-flight results (so a
+        later :meth:`report` still covers them), snapshots worker cache
+        stats, then asks each worker to stop and joins it — terminating any
+        straggler after ``timeout_s``.  Errors during the drain (e.g. a
+        worker already dead) are swallowed: ``close()`` is teardown, and the
+        typed :class:`WorkerError` surfaced on the serving path that got
+        here first.
+        """
+        if self._closed:
+            return
+        try:
+            self.flush()
+            self._drain(block=True)
+            self._refresh_cache_stats()
+        except Exception:
+            pass  # best-effort drain; the hard stop below always runs
+        finally:
+            self._closed = True
+            self._shutdown(timeout_s=timeout_s, graceful=True)
+
+    def _shutdown(self, *, timeout_s: float, graceful: bool) -> None:
+        """Stop every worker: politely when ``graceful``, else terminate."""
+        for handle in self._handles.values():
+            if handle.stopped:
+                continue
+            if graceful and handle.process.is_alive():
+                try:
+                    handle.conn.send(("stop",))
+                except Exception:
+                    pass
+        for handle in self._handles.values():
+            if handle.stopped:
+                continue
+            handle.process.join(timeout_s if graceful else 0.1)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(1.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(1.0)
+            try:
+                handle.conn.close()
+            except Exception:
+                pass
+            handle.stopped = True
+
+    def _worker_failure(self, worker_id: int, reason: str) -> WorkerError:
+        """Build the typed error for one failed worker."""
+        handle = self._handles[worker_id]
+        return WorkerError(worker_id, reason,
+                           exit_code=handle.process.exitcode,
+                           log_path=handle.log_path)
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def submit(self, query: Query, index: int | None = None) -> str:
+        """Route and enqueue one query; returns the relation it was assigned.
+
+        Same contract as :meth:`FleetRouter.submit
+        <repro.serve.router.FleetRouter.submit>`: the replica is the
+        deterministic crc32 hash of ``(relation, global index)``, the worker
+        is whichever process hosts that replica, and a full micro-batch ships
+        immediately.  Raises :class:`~repro.serve.router.RoutingError` for
+        unroutable queries (without consuming an index) and ``RuntimeError``
+        after :meth:`close`.
+        """
+        if self._closed:
+            raise RuntimeError("the fleet is closed; no further submissions")
+        route = resolve_route(self.registry, query, self.default_route)
+        if index is None:
+            index = self._next_index
+        replica = replica_for(route, index, self._replica_counts[route])
+        key = (route, replica)
+        self._pending.setdefault(key, []).append((index, query, self.clock()))
+        self._next_index = max(self._next_index, index + 1)
+        if len(self._pending[key]) >= self.batch_size:
+            self._ship(key)
+        self._drain(block=False)  # keep the result pipes from backing up
+        return route
+
+    def _ship(self, key: tuple[str, int], *, timeout_flush: bool = False) -> None:
+        """Send one replica's pending micro-batch to its worker."""
+        items = self._pending.pop(key)
+        route, replica = key
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        batch_index = self._batch_counters.get(key, 0)
+        self._batch_counters[key] = batch_index + 1
+        worker_id = self._assignment[key]
+        handle = self._handles[worker_id]
+        payload = [(index, query) for index, query, _ in items]
+        try:
+            handle.conn.send(("batch", batch_id, route, replica, payload))
+        except (OSError, ValueError, BrokenPipeError) as error:
+            raise self._worker_failure(
+                worker_id, "went away while a batch was being sent") from error
+        self._inflight[batch_id] = _Inflight(
+            route=route, replica=replica, worker_id=worker_id,
+            batch_index=batch_index, items=payload,
+            arrivals={index: arrival for index, _, arrival in items},
+            timeout_flush=timeout_flush)
+
+    def flush(self) -> None:
+        """Ship every partially filled micro-batch to its worker."""
+        for key in list(self._pending):
+            self._ship(key)
+
+    def tick(self, now: float | None = None) -> float | None:
+        """Ship overdue partial batches; returns the earliest remaining deadline.
+
+        The parent owns the pending queues, so flush deadlines are enforced
+        here (not in the workers): any batch whose oldest query has waited
+        past ``flush_after_ms`` ships immediately, flagged ``timeout_flush``
+        in the report exactly like the single-process fleet's.
+        """
+        if self.flush_after_ms is None or not self._pending:
+            return None
+        if now is None:
+            now = self.clock()
+        horizon = self.flush_after_ms / 1000.0
+        next_deadline: float | None = None
+        for key in list(self._pending):
+            oldest = self._pending[key][0][2]
+            deadline = oldest + horizon
+            if deadline <= now:
+                self._ship(key, timeout_flush=True)
+            elif next_deadline is None or deadline < next_deadline:
+                next_deadline = deadline
+        return next_deadline
+
+    def collect(self) -> None:
+        """Block until every in-flight micro-batch has returned its results.
+
+        Raises :class:`WorkerError` (within ``recv_timeout_s``) if a worker
+        dies or stops answering while results are outstanding.
+        """
+        self._drain(block=True)
+
+    def _drain(self, *, block: bool) -> None:
+        """Receive worker messages: one sweep when not blocking, else all."""
+        deadline = self.clock() + self.recv_timeout_s
+        while self._inflight:
+            conns = {handle.conn: worker_id
+                     for worker_id, handle in self._handles.items()
+                     if not handle.stopped}
+            ready = mp_connection.wait(list(conns),
+                                       timeout=_POLL_S if block else 0)
+            for conn in ready:
+                worker_id = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError) as error:
+                    raise self._worker_failure(
+                        worker_id, "pipe closed with results outstanding"
+                    ) from error
+                self._handle_message(message)
+            if not block:
+                return
+            if not ready:
+                self._check_liveness()
+                if self.clock() > deadline:
+                    raise WorkerError(
+                        min(entry.worker_id
+                            for entry in self._inflight.values()),
+                        f"no results within {self.recv_timeout_s:.0f}s with "
+                        f"{self.in_flight} queries in flight")
+
+    def _check_liveness(self) -> None:
+        """Raise for any dead worker that still owes in-flight results."""
+        owing = {entry.worker_id for entry in self._inflight.values()}
+        for worker_id in owing:
+            if not self._handles[worker_id].process.is_alive():
+                raise self._worker_failure(
+                    worker_id, "died with results outstanding")
+
+    def _handle_message(self, message: tuple) -> None:
+        """Fold one worker message into the parent-side accounting."""
+        kind = message[0]
+        if kind == "result":
+            _, worker_id, batch_id, pairs, latency_ms, busy_cpu_ms = message
+            entry = self._inflight.pop(batch_id)
+            received = self.clock()
+            key = (entry.route, entry.replica)
+            num_rows = self._rows[entry.route]
+            queries = dict(entry.items)
+            waits: list[float] = []
+            results = self._results.setdefault(key, [])
+            for index, selectivity in pairs:
+                e2e_ms = max(0.0, (received - entry.arrivals[index]) * 1000.0)
+                wait_ms = max(0.0, e2e_ms - latency_ms)
+                waits.append(wait_ms)
+                results.append(EstimateResult(
+                    index=index, query=queries[index],
+                    selectivity=selectivity,
+                    cardinality=selectivity * num_rows,
+                    batch_index=entry.batch_index,
+                    queue_wait_ms=wait_ms, e2e_ms=e2e_ms))
+            self._records.setdefault(key, []).append(BatchRecord(
+                batch_index=entry.batch_index, num_queries=len(pairs),
+                latency_ms=latency_ms, queue_wait_ms=tuple(waits),
+                timeout_flush=entry.timeout_flush))
+            tally = self._worker_tallies.setdefault(
+                worker_id, {"num_queries": 0, "num_batches": 0,
+                            "busy_cpu_ms": 0.0, "latency_ms": 0.0})
+            tally["num_queries"] += len(pairs)
+            tally["num_batches"] += 1
+            tally["busy_cpu_ms"] += busy_cpu_ms
+            tally["latency_ms"] += latency_ms
+        elif kind == "error":
+            _, worker_id, remote = message
+            handle = self._handles[worker_id]
+            raise WorkerError(worker_id, "raised while serving",
+                              exit_code=handle.process.exitcode,
+                              log_path=handle.log_path,
+                              remote_traceback=remote)
+        # "report"/"stopped" replies are consumed by their request sites;
+        # anything else arriving here is a stale message and is dropped.
+
+    # ------------------------------------------------------------------ #
+    # Scopes and reporting
+    # ------------------------------------------------------------------ #
+    def run(self, queries: list[Query]) -> FleetReport:
+        """Serve a whole mixed workload and return the merged fleet report.
+
+        Same scope semantics as :meth:`FleetRouter.run
+        <repro.serve.router.FleetRouter.run>`: indices restart at zero, the
+        report covers only this call, worker-side conditional caches carry
+        over.
+        """
+        self._begin_scope()
+        ticking = self.flush_after_ms is not None
+        for query in queries:
+            self.submit(query)
+            if ticking:
+                self.tick()
+        self.flush()
+        self.collect()
+        return self.report()
+
+    def _begin_scope(self) -> None:
+        """Start a fresh workload scope: reset indices and worker engines."""
+        if self._pending or self._inflight:
+            raise RuntimeError("submitted queries are still pending or in "
+                               "flight; call flush() and collect() before "
+                               "run()")
+        for handle in self._handles.values():
+            if not handle.stopped:
+                try:
+                    handle.conn.send(("reset",))
+                except (OSError, ValueError, BrokenPipeError) as error:
+                    raise self._worker_failure(
+                        handle.worker_id, "went away during scope reset"
+                    ) from error
+        self._results = {}
+        self._records = {}
+        self._batch_counters = {}
+        self._worker_tallies = {}
+        self._next_index = 0
+
+    def _refresh_cache_stats(self) -> None:
+        """Pull current per-engine cache counters from every live worker."""
+        for worker_id, handle in self._handles.items():
+            if handle.stopped or not handle.process.is_alive():
+                continue
+            handle.conn.send(("report",))
+            deadline = self.clock() + self.recv_timeout_s
+            while True:
+                if handle.conn.poll(_POLL_S):
+                    message = handle.conn.recv()
+                    if message[0] == "report":
+                        self._cache_stats.update(message[2])
+                        break
+                    self._handle_message(message)  # stray result, fold it in
+                elif not handle.process.is_alive():
+                    raise self._worker_failure(
+                        worker_id, "died during a cache-stats snapshot")
+                elif self.clock() > deadline:
+                    raise WorkerError(
+                        worker_id, "cache-stats snapshot timed out",
+                        log_path=handle.log_path)
+
+    def worker_stats(self) -> dict[str, dict]:
+        """Per-worker serving tallies for the current workload scope.
+
+        Keyed by stringified worker id (JSON-friendly); each entry carries
+        the worker's pid, log path, hosted engines, query/batch counts and
+        the summed worker-side dispatch latency and busy-CPU time.  The
+        busy-CPU column is what the ``serve_procfleet`` bench's capacity
+        accounting is built from: CPU seconds are immune to time-slicing, so
+        the fleet's critical path is ``max`` over workers even on a
+        single-core host.
+        """
+        stats: dict[str, dict] = {}
+        for worker_id in sorted(self._infos):
+            info = self._infos[worker_id]
+            tally = self._worker_tallies.get(
+                worker_id, {"num_queries": 0, "num_batches": 0,
+                            "busy_cpu_ms": 0.0, "latency_ms": 0.0})
+            stats[str(worker_id)] = {
+                "pid": info.pid,
+                "log_path": info.log_path,
+                "engines": [f"{route}/{replica}"
+                            for route, replica in info.keys],
+                **tally,
+            }
+        return stats
+
+    def report(self) -> FleetReport:
+        """Merged snapshot of the current scope, in global submission order.
+
+        Collects any in-flight results first, then builds the same
+        per-replica :class:`~repro.serve.engine.EngineReport` structure the
+        single-process fleet produces — the worker boundary is invisible in
+        the report except for the extra ``stats.workers`` breakdown.
+        """
+        if not self._closed:
+            self.collect()
+            self._refresh_cache_stats()
+        route_reports: dict[str, list[EngineReport]] = {}
+        served = {route for route, _ in
+                  set(self._results) | set(self._records)}
+        for route in self.registry.names:
+            if route not in served:
+                continue
+            reports = []
+            for replica in range(self._replica_counts[route]):
+                key = (route, replica)
+                results = sorted(self._results.get(key, []),
+                                 key=lambda result: result.index)
+                records = list(self._records.get(key, []))
+                elapsed_s = sum(record.latency_ms
+                                for record in records) / 1000.0
+                stats = EngineStats(
+                    num_queries=len(results), num_batches=len(records),
+                    elapsed_s=elapsed_s,
+                    num_samples=self._samples_by_route[route],
+                    batch_size=self.batch_size,
+                    timeout_flushes=sum(record.timeout_flush
+                                        for record in records),
+                    cache=self._cache_stats.get(key))
+                reports.append(EngineReport(results=results, batches=records,
+                                            stats=stats))
+            route_reports[route] = reports
+        return _merge_reports(
+            route_reports, num_models=len(self.registry),
+            cache_entries_total=self.cache_entries,
+            cache_entries_per_model=self.cache_entries_per_model,
+            workers=self.worker_stats())
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "live"
+        return (f"ProcessFleet({len(self.registry)} relations, "
+                f"{self.num_workers} workers, "
+                f"{sum(self._replica_counts.values())} engines, {state})")

@@ -279,6 +279,54 @@ class ModelRegistry:
         """Fleet-wide engine count: the sum of every relation's replicas."""
         return sum(self._replicas.get(name, 1) for name in self._relations)
 
+    def worker_assignments(self, workers: int, *,
+                           replicas: dict[str, int] | int | None = None
+                           ) -> dict[tuple[str, int], int]:
+        """Deterministic placement of every ``(relation, replica)`` engine.
+
+        Round-robins the fleet's engines — relations in registration order,
+        replicas in index order — across ``workers`` slots, so the mapping
+        depends only on the registry's contents and the worker count, never
+        on process identity or timing.  This is the sharding half of the
+        cross-process routing contract: :class:`repro.serve.procfleet
+        .ProcessFleet` routes a query to its replica first (same crc32 hash
+        as the in-process router), then looks the replica's worker up here —
+        which is why ``workers=1`` and ``workers=N`` serve identical numbers.
+
+        Parameters
+        ----------
+        workers:
+            Number of worker slots (at least 1).
+        replicas:
+            Replica-count override: ``None`` reads each relation's
+            registered count, an ``int`` applies fleet-wide, a dict maps
+            relation names to counts (missing names fall back to their
+            registered counts).
+
+        Returns:
+            ``{(relation, replica): worker_slot}`` covering every engine.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if isinstance(replicas, int):
+            counts = {name: replicas for name in self.names}
+        elif replicas is None:
+            counts = {name: self.replicas(name) for name in self.names}
+        else:
+            counts = {name: replicas.get(name, self.replicas(name))
+                      for name in self.names}
+        for name, count in counts.items():
+            if count < 1:
+                raise ValueError(f"replicas must be at least 1, got {count} "
+                                 f"for relation {name!r}")
+        assignment: dict[tuple[str, int], int] = {}
+        slot = 0
+        for name in self.names:
+            for replica in range(counts[name]):
+                assignment[(name, replica)] = slot % workers
+                slot += 1
+        return assignment
+
     def is_fitted(self, name: str) -> bool:
         """Whether the relation's estimator has been built and trained."""
         self.relation(name)

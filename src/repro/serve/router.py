@@ -60,10 +60,47 @@ from .registry import ModelRegistry
 
 __all__ = ["RoutingError", "AdmissionError", "RoutedResult", "FleetStats",
            "FleetReport", "ReplicaGroup", "FleetRouter",
-           "run_fleet_sequential", "latency_percentiles"]
+           "run_fleet_sequential", "latency_percentiles", "replica_for",
+           "resolve_route"]
 
 #: Overflow policies of the per-group admission controller.
 _OVERFLOW_POLICIES = ("block", "shed")
+
+
+def replica_for(route: str, index: int, replicas: int) -> int:
+    """Deterministic replica of one ``(relation, global index)`` pair.
+
+    A CRC of ``"route:index"`` (not Python's randomised ``hash``) so the
+    assignment is stable across processes and replays — this single function
+    is the placement contract shared by :class:`ReplicaGroup` (in-process
+    replicas) and :class:`repro.serve.procfleet.ProcessFleet` (replicas
+    sharded across OS worker processes), which is what makes
+    ``workers=1 ≡ workers=N`` provable rather than coincidental.
+    """
+    return zlib.crc32(f"{route}:{index}".encode()) % replicas
+
+
+def resolve_route(registry: ModelRegistry, query: Query,
+                  default_route: str | None = None) -> str:
+    """The relation a query routes to; raises :class:`RoutingError` if none.
+
+    The routing half of the fleet contract, shared by :class:`FleetRouter`
+    and :class:`repro.serve.procfleet.ProcessFleet`: the query's ``table``
+    qualifier wins, an unqualified query falls back to ``default_route``,
+    and anything unroutable fails loudly at submission time.
+    """
+    route = query.table or default_route
+    if route is None:
+        raise RoutingError(
+            f"query {query!r} has no table qualifier and the fleet "
+            f"serves {len(registry)} relations "
+            f"({', '.join(registry.names)}); qualify the query or "
+            "set default_route")
+    if route not in registry:
+        raise RoutingError(
+            f"query {query!r} targets unregistered relation {route!r}; "
+            f"registered: {', '.join(registry.names)}")
+    return route
 
 
 def _validate_admission(max_pending: int | None, overflow: str) -> None:
@@ -202,6 +239,11 @@ class FleetStats:
     #: Micro-batches this scope dispatched by a flush deadline
     #: (``flush_after_ms``) rather than by filling up, fleet-wide.
     timeout_flushes: int = 0
+    #: Per-worker serving tallies when the report came from a
+    #: :class:`repro.serve.procfleet.ProcessFleet` (``None`` on in-process
+    #: routers): worker id -> pid, log path, hosted engines, query/batch
+    #: counts, summed dispatch latency and busy-CPU time.
+    workers: dict[str, dict] | None = None
     #: Route name -> aggregated group stats: the union of the engine-stats
     #: keys (query/batch counts, QPS, the group cache's counters) plus
     #: ``num_replicas``, ``shed``, ``result_cache_hits``, per-route
@@ -240,6 +282,7 @@ class FleetStats:
             "queue_wait_ms": self.queue_wait_ms,
             "e2e_ms": self.e2e_ms,
             "timeout_flushes": self.timeout_flushes,
+            "workers": self.workers,
             "routes": self.routes,
         }
 
@@ -354,7 +397,8 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
                    cached_results: list[RoutedResult] | None = None,
                    shed_by_route: dict[str, int] | None = None,
                    result_cache_stats: dict | None = None,
-                   batch_traces: dict[str, list[int]] | None = None) -> FleetReport:
+                   batch_traces: dict[str, list[int]] | None = None,
+                   workers: dict[str, dict] | None = None) -> FleetReport:
     """Fold per-replica reports into one fleet report in global index order."""
     cached_results = cached_results or []
     shed_by_route = shed_by_route or {}
@@ -426,6 +470,7 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
         e2e_ms=latency_percentiles(fleet_e2es),
         timeout_flushes=sum(entry["timeout_flushes"]
                             for entry in routes_stats.values()),
+        workers=workers,
         routes=routes_stats,
     )
     return FleetReport(results=merged, routes=route_reports, stats=stats)
@@ -486,10 +531,10 @@ class ReplicaGroup:
     def replica_of(self, index: int) -> int:
         """Deterministic replica assignment of one global workload index.
 
-        A CRC of ``"route:index"`` (not Python's randomised ``hash``) so the
-        assignment is stable across processes and replays.
+        Delegates to :func:`replica_for` — the one placement function shared
+        with the cross-process fleet, stable across processes and replays.
         """
-        return zlib.crc32(f"{self.route}:{index}".encode()) % len(self.engines)
+        return replica_for(self.route, index, len(self.engines))
 
     @property
     def pending(self) -> int:
@@ -681,19 +726,12 @@ class FleetRouter:
             self.on_result(result)
 
     def resolve_route(self, query: Query) -> str:
-        """The relation a query routes to; raises :class:`RoutingError` if none."""
-        route = query.table or self.default_route
-        if route is None:
-            raise RoutingError(
-                f"query {query!r} has no table qualifier and the fleet "
-                f"serves {len(self.registry)} relations "
-                f"({', '.join(self.registry.names)}); qualify the query or "
-                "set default_route")
-        if route not in self.registry:
-            raise RoutingError(
-                f"query {query!r} targets unregistered relation {route!r}; "
-                f"registered: {', '.join(self.registry.names)}")
-        return route
+        """The relation a query routes to; raises :class:`RoutingError` if none.
+
+        Delegates to the module-level :func:`resolve_route` — the routing
+        half of the contract shared with the cross-process fleet.
+        """
+        return resolve_route(self.registry, query, self.default_route)
 
     def group(self, route: str) -> ReplicaGroup:
         """The replica group of one route, materialised on first use.

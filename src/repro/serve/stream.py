@@ -495,7 +495,6 @@ class AsyncFleetClient:
             ValueError: ``index`` was already submitted through this client.
         """
         loop = asyncio.get_running_loop()
-        self._ensure_driver(loop)
         if index is None:
             index = self.router.next_index
         if index in self._used:
@@ -510,6 +509,12 @@ class AsyncFleetClient:
             self._futures.pop(index, None)
             self._used.discard(index)
             raise
+        # Start the flush driver only after a successful submission: a
+        # submit that dies in the router (unroutable query, failing
+        # registry, refused admission) must not leave a driver task running
+        # with nothing to drive — the teardown-leak regression in
+        # tests/test_serve_procfleet_lifecycle.py pins this down.
+        self._ensure_driver(loop)
         if self._wakeup is not None:
             self._wakeup.set()  # a new pending batch may move the deadline
         return future

@@ -16,6 +16,7 @@ up orders of magnitude above it.
 
 from __future__ import annotations
 
+import os
 import random
 
 import numpy as np
@@ -27,6 +28,7 @@ from repro.query import Query, WorkloadGenerator
 from repro.serve import (
     FleetRouter,
     ModelRegistry,
+    ProcessFleet,
     StreamingRouter,
     VirtualClock,
     generate_mixed_workload,
@@ -340,3 +342,76 @@ def test_workload_file_roundtrip_preserves_estimates(fleet, workload, baseline,
                      result_cache=False).run(loaded)
     np.testing.assert_allclose(report.selectivities, baseline.selectivities,
                                rtol=0.0, atol=1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# Cross-process fleet: the process boundary is invisible in the numbers
+# --------------------------------------------------------------------------- #
+def _procfleet(fleet, *, workers, batch_size, replicas=1, use_cache=True):
+    """A ProcessFleet over the module fixture, logging where CI can scoop
+    the files up as artifacts (``REPRO_PROCFLEET_LOG_DIR``, unset locally)."""
+    return ProcessFleet(fleet, workers=workers, batch_size=batch_size,
+                        replicas=replicas, num_samples=_SAMPLES, seed=_SEED,
+                        use_cache=use_cache, default_route=_DEFAULT_ROUTE,
+                        log_dir=os.environ.get("REPRO_PROCFLEET_LOG_DIR"))
+
+
+@pytest.mark.parametrize("batch_size", (1, 64))
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_procfleet_grid_matches_sequential_baseline(fleet, workload, baseline,
+                                                    workers, batch_size):
+    """Every (workers, batch_size) cell reproduces the unbatched baseline:
+    sharding engines across OS processes must never change an estimate."""
+    with _procfleet(fleet, workers=workers, batch_size=batch_size) as proc:
+        report = proc.run(workload)
+    assert [result.index for result in report.results] == \
+        list(range(len(workload)))
+    assert [result.route for result in report.results] == \
+        [result.route for result in baseline.results]
+    np.testing.assert_allclose(report.selectivities, baseline.selectivities,
+                               rtol=0.0, atol=1e-12)
+
+
+def test_procfleet_worker_count_is_invisible(fleet, workload):
+    """workers=1 and workers=N agree bit for bit: engine state is keyed by
+    (relation, replica), so which process hosts an engine cannot matter."""
+    with _procfleet(fleet, workers=1, batch_size=7, replicas=2) as single:
+        one = single.run(workload)
+    with _procfleet(fleet, workers=4, batch_size=7, replicas=2) as sharded:
+        many = sharded.run(workload)
+    np.testing.assert_array_equal(many.selectivities, one.selectivities)
+    assert [result.replica for result in many.results] == \
+        [result.replica for result in one.results]
+    # The sharded run really did use several processes.
+    used_pids = {stats["pid"] for stats in many.stats.workers.values()
+                 if stats["num_queries"]}
+    assert len(used_pids) > 1
+
+
+@pytest.mark.parametrize("replicas,use_cache",
+                         [(1, True), (3, False)],
+                         ids=["singleton-cached", "replicated-nocache"])
+def test_procfleet_matches_in_process_router(fleet, workload, replicas,
+                                             use_cache):
+    """The process fleet matches the in-process FleetRouter bit for bit when
+    the per-(route, replica) micro-batch composition and cache structure
+    match: one replica per route (each side has exactly one cache per
+    model), or any replica count with conditional caches off (the router
+    shares one cache across a replica group; the fleet's are per-engine)."""
+    for name in fleet.names:
+        fleet.set_replicas(name, replicas)
+    try:
+        router = FleetRouter(fleet, batch_size=5, num_samples=_SAMPLES,
+                             seed=_SEED, default_route=_DEFAULT_ROUTE,
+                             use_cache=use_cache)
+        in_process = router.run(workload)
+    finally:
+        for name in fleet.names:
+            fleet.set_replicas(name, 1)
+    with _procfleet(fleet, workers=3, batch_size=5, replicas=replicas,
+                    use_cache=use_cache) as proc:
+        cross_process = proc.run(workload)
+    np.testing.assert_array_equal(cross_process.selectivities,
+                                  in_process.selectivities)
+    assert [result.replica for result in cross_process.results] == \
+        [result.replica for result in in_process.results]
