@@ -1,15 +1,20 @@
 """Serving throughput — batched ``repro.serve`` engine vs sequential sampling.
 
 Not a reproduction of a paper table: this benchmark guards the serving-layer
-claim that micro-batching plus conditional caching answers a workload several
-times faster than the paper's one-query-at-a-time evaluation loop, without
-changing the estimates (both modes use the same per-query random streams, so
-the results agree to float round-off).
+claim that the fused hot path — column-sliced conditionals, prefix-
+deduplicated sampling, packed conditional caching — answers a workload an
+order of magnitude faster than the paper's one-query-at-a-time evaluation
+loop without changing the estimates (every kernel is row-exact and both
+modes use the same per-query random streams, so the results agree bit for
+bit: drift is exactly zero).
 
-The CI ``bench-smoke`` job runs this file with ``REPRO_BENCH_SMOKE=1``, which
-shrinks the configuration to finish in seconds and drops the speedup floor
-(tiny workloads underutilise the batch path); the JSON report it writes to
-``results/serve_throughput.json`` is uploaded as a build artifact either way.
+The CI ``bench-smoke`` job runs this file at *full* scale — the >= 8x
+batched-cold perf gate below needs the standard 64-query workload to be
+meaningful, and the full run costs only seconds.  ``REPRO_BENCH_SMOKE=1``
+still shrinks the configuration and drops the speedup floor to a sanity
+check (tiny workloads underutilise the batch path); the JSON report written
+to ``results/serve_throughput.json`` is uploaded as a build artifact even on
+failure.
 """
 
 from __future__ import annotations
@@ -43,20 +48,21 @@ def test_serve_throughput(bench_scale, results_dir):
                     "sequential", "batched", "batched_cold",
                     "num_queries")}, handle, indent=1)
 
-    # Batching must not change the answers: same per-query streams on both
-    # sides, so any difference is float round-off of skipped wildcard columns.
-    assert result["max_estimate_drift"] <= 1e-9
+    # The fused serving path is bit-exact against the unfused sequential
+    # baseline — row-exact kernel, bit-identical prefix dedup, exact cache
+    # hits — so the drift is not merely small, it is zero.
+    assert result["max_estimate_drift"] == 0.0
 
     if _SMOKE:
         assert result["speedup"] > 0.0
         assert result["cold_speedup"] > 0.0
     else:
         assert result["num_queries"] == 64
-        # The headline claim: batched serving is at least 3x the sequential
-        # sampler's throughput on the standard 64-query workload.  The gate is
-        # the steady-state (warm-cache) run, which clears 3x with a wide
-        # margin (~8x here); the cold first pass typically lands around 3.4x
-        # but sits too close to 3.0 to assert against timing noise, so it
-        # only gets a sanity floor.
-        assert result["speedup"] >= 3.0
-        assert result["cold_speedup"] >= 1.5
+        # The headline claim: the fused hot path (column-sliced forward +
+        # prefix dedup + packed conditional cache) beats the unfused
+        # sequential baseline by an order of magnitude even cold.  Measured
+        # ~10.3-11.7x cold and ~24x warm on a single core; the gates sit a
+        # couple of x below the measurements to absorb shared-runner timing
+        # noise, not to excuse regressions.
+        assert result["speedup"] >= 15.0
+        assert result["cold_speedup"] >= 8.0

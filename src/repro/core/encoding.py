@@ -122,15 +122,22 @@ class TupleEncoder(nn.Module):
         return nn.concatenate(blocks, axis=1)
 
     # ------------------------------------------------------------------ #
-    def decode_logits(self, column_index: int, output_block: nn.Tensor) -> nn.Tensor:
+    def decode_logits(self, column_index: int, output_block: nn.Tensor,
+                      row_exact: bool = False) -> nn.Tensor:
         """Turn a column's output block into logits over its domain.
 
         For small domains the block already *is* the logits; for large domains
         the block is an ``h``-dimensional feature vector multiplied with the
-        (shared) embedding matrix — the embedding-reuse optimisation.
+        (shared) embedding matrix — the embedding-reuse optimisation.  With
+        ``row_exact=True`` that product is computed row by row
+        (:meth:`repro.nn.autograd.Tensor.rowwise_matmul`), so decoded logits
+        are bit-identical for any batch composition — required by models whose
+        serving path regroups rows (see :class:`repro.core.made.MADEModel`).
         """
         codec = self.codecs[column_index]
         if not codec.use_embedding:
             return output_block
         embedding = self.embeddings[column_index]
+        if row_exact:
+            return output_block.rowwise_matmul(embedding.weight.T)
         return output_block @ embedding.weight.T

@@ -33,10 +33,12 @@ round-off of the wildcard-column mass): the single-query
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ProgressiveSampler", "UniformRegionSampler", "enumerate_region"]
+__all__ = ["SamplerStats", "ProgressiveSampler", "UniformRegionSampler",
+           "enumerate_region"]
 
 #: Row-chunk size of the per-column truncate/renormalise/sample arithmetic in
 #: batched runs; large micro-batches stack enough sample paths that one-shot
@@ -52,6 +54,47 @@ def _sample_rows_from_probs(probs: np.ndarray, rng_draws: np.ndarray) -> np.ndar
     return np.argmax(cumulative >= rng_draws, axis=1)
 
 
+def _region_candidates(
+        domain_sizes: list[int],
+        masks: list[np.ndarray | None]) -> tuple[list[np.ndarray] | None, float]:
+    """Candidate code arrays and size of the query region ``R_1 × … × R_n``.
+
+    A wildcard column contributes its whole domain.  If any column's mask
+    admits no code the region is empty: returns ``(None, 0.0)`` so callers
+    can early-return a zero selectivity without special-casing.
+    """
+    candidate_codes: list[np.ndarray] = []
+    region_size = 1.0
+    for column, mask in enumerate(masks):
+        codes = np.arange(domain_sizes[column]) if mask is None else np.flatnonzero(mask)
+        if codes.size == 0:
+            return None, 0.0
+        candidate_codes.append(codes)
+        region_size *= float(codes.size)
+    return candidate_codes, region_size
+
+
+@dataclass
+class SamplerStats:
+    """Lifetime row accounting of one progressive sampler.
+
+    ``rows_submitted`` counts the alive sample-path rows that needed a
+    conditional at some position; ``unique_rows`` counts the rows actually
+    sent to the model after prefix deduplication (equal to ``rows_submitted``
+    when dedup is off); ``forward_calls`` counts ``conditional_probs`` calls.
+    The serving engine snapshots these at scope boundaries to report
+    per-workload deltas and the dedup ratio.
+    """
+
+    rows_submitted: int = 0
+    unique_rows: int = 0
+    forward_calls: int = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """Current counter values, for delta accounting across scopes."""
+        return (self.rows_submitted, self.unique_rows, self.forward_calls)
+
+
 class ProgressiveSampler:
     """Unbiased Monte-Carlo estimator of range-query density (Algorithm 1).
 
@@ -64,11 +107,109 @@ class ProgressiveSampler:
     query costs at most ``num_columns`` model forward passes regardless of the
     number of samples — and a micro-batch of queries shares those passes, see
     :meth:`estimate_selectivity_batch`.
+
+    Parameters
+    ----------
+    model:
+        Any model implementing the autoregressive protocol.
+    seed:
+        Seed of the sampler's own random stream (used when callers do not
+        supply per-query generators).
+    dedup:
+        Deduplicate the visible prefixes of the alive sample paths before
+        each model call (default on): at position ``p`` the conditional
+        depends only on the columns sampled so far, and sample paths collapse
+        to a handful of distinct prefixes at early positions — every path
+        shares the empty prefix at position 0 — so the model evaluates each
+        unique prefix once and the results scatter back to the full row set.
+        The random draws are consumed before liveness checks, so sampling
+        streams are untouched; for models whose ``conditional_probs`` is
+        row-exact (:class:`repro.core.made.MADEModel`, the oracle) the
+        estimates are bit-identical with dedup on or off.
     """
 
-    def __init__(self, model, seed: int = 0) -> None:
+    def __init__(self, model, seed: int = 0, dedup: bool = True) -> None:
         self.model = model
+        self.dedup = dedup
+        #: Lifetime row accounting, see :class:`SamplerStats`.
+        self.stats = SamplerStats()
         self._rng = np.random.default_rng(seed)
+        # Per-position mixed-radix packing of the visible prefix into one
+        # int64 (for scalar-sort deduplication); ``None`` marks positions
+        # whose radix product overflows, which fall back to row-wise unique.
+        self._prefix_pack: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
+
+    def _prefix_packing(self, position: int) -> tuple[np.ndarray, np.ndarray | None]:
+        """The (prefix column indices, mixed radix or None) of one position."""
+        packing = self._prefix_pack.get(position)
+        if packing is None:
+            prefix_columns = np.asarray(self.model.order[:position], dtype=np.int64)
+            domain_sizes = self.model.domain_sizes()
+            sizes = [domain_sizes[column] for column in prefix_columns]
+            radix = None
+            if sizes and float(np.prod([float(size) for size in sizes])) < 2.0 ** 62:
+                radix = np.ones(len(sizes), dtype=np.int64)
+                for index in range(len(sizes) - 2, -1, -1):
+                    radix[index] = radix[index + 1] * sizes[index + 1]
+            packing = (prefix_columns, radix)
+            self._prefix_pack[position] = packing
+        return packing
+
+    def _conditional_unique(self, position: int, column: int,
+                            codes: np.ndarray,
+                            alive_rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Model conditionals of the alive rows, deduplicated by visible prefix.
+
+        Alive rows agree on every column *not* yet sampled (still zero), so
+        deduplicating the visible prefix equals deduplicating whole rows; the
+        model sees one representative row per unique prefix.  Returns
+        ``(representatives, inverse)`` — each alive row's distribution is
+        ``representatives[inverse[row]]`` — so callers can keep working in
+        representative space instead of scattering distributions back to every
+        row.  Whole-array numpy throughout — no scalar Python per row.
+        """
+        stats = self.stats
+        stats.rows_submitted += alive_rows.size
+        stats.forward_calls += 1
+        if position == 0:
+            # Every path shares the empty prefix: one model row for them all.
+            stats.unique_rows += 1
+            representatives = self.model.conditional_probs(
+                column, codes[alive_rows[:1]])
+            return representatives, np.zeros(alive_rows.size, dtype=np.int64)
+        sub_codes = codes[alive_rows]
+        prefix_columns, radix = self._prefix_packing(position)
+        prefixes = sub_codes[:, prefix_columns]
+        if radix is not None:
+            _, first_rows, inverse = np.unique(prefixes @ radix,
+                                               return_index=True,
+                                               return_inverse=True)
+        else:
+            _, first_rows, inverse = np.unique(prefixes, axis=0,
+                                               return_index=True,
+                                               return_inverse=True)
+        stats.unique_rows += first_rows.size
+        representatives = self.model.conditional_probs(column,
+                                                       sub_codes[first_rows])
+        return representatives, inverse
+
+    def _conditional_batch(self, position: int, column: int,
+                           codes: np.ndarray,
+                           alive_rows: np.ndarray) -> np.ndarray:
+        """Per-row conditionals of the alive rows (scattered form).
+
+        With dedup on this is :meth:`_conditional_unique` followed by the
+        inverse scatter; with dedup off every row goes to the model directly.
+        """
+        stats = self.stats
+        if not self.dedup:
+            stats.rows_submitted += alive_rows.size
+            stats.forward_calls += 1
+            stats.unique_rows += alive_rows.size
+            return self.model.conditional_probs(column, codes[alive_rows])
+        representatives, inverse = self._conditional_unique(
+            position, column, codes, alive_rows)
+        return representatives[inverse]
 
     # ------------------------------------------------------------------ #
     def estimate_selectivity(self, masks: list[np.ndarray | None],
@@ -161,7 +302,6 @@ class ProgressiveSampler:
             alive_rows = np.flatnonzero(alive & (row_last_constrained >= position))
             if alive_rows.size == 0:
                 continue
-            probs = self.model.conditional_probs(column, codes[alive_rows])
             column_masks = [masks[column] for masks in masks_batch]
             mask_matrix = None
             if any(mask is not None for mask in column_masks):
@@ -169,6 +309,44 @@ class ProgressiveSampler:
                 for query, mask in enumerate(column_masks):
                     if mask is not None:
                         mask_matrix[query] = mask
+
+            if self.dedup:
+                # Representative-space arithmetic: rows sharing a (prefix,
+                # query-mask) pair share their truncated distribution, so the
+                # mask product, mass, renormalisation and cumulative sum run
+                # once per distinct pair; rows only gather their pair's
+                # results and compare against their own draws.  Every one of
+                # these operations is row-pure, so the per-row values — and
+                # hence the estimates — are bit-identical to the unfused
+                # per-row loop below.
+                representatives, inverse = self._conditional_unique(
+                    position, column, codes, alive_rows)
+                if mask_matrix is None:
+                    truncated = representatives
+                    groups = inverse
+                else:
+                    pair_ids = inverse * num_queries + row_query[alive_rows]
+                    pairs, groups = np.unique(pair_ids, return_inverse=True)
+                    truncated = (representatives[pairs // num_queries]
+                                 * mask_matrix[pairs % num_queries])
+                group_mass = truncated.sum(axis=1)
+                safe_mass = np.where(group_mass > 0.0, group_mass, 1.0)
+                cumulative = np.cumsum(truncated / safe_mass[:, None], axis=1)
+                # Guard against rounding: force the last cumulative value to 1.
+                cumulative[:, -1] = 1.0
+                for start in range(0, alive_rows.size, _ROW_CHUNK):
+                    rows = alive_rows[start:start + _ROW_CHUNK]
+                    row_groups = groups[start:start + _ROW_CHUNK]
+                    mass = group_mass[row_groups]
+                    weights[rows] *= mass
+                    survived = mass > 0.0
+                    alive[rows] = survived
+                    sampled = np.argmax(cumulative[row_groups] >= draws[rows],
+                                        axis=1)
+                    codes[rows[survived], column] = sampled[survived]
+                continue
+
+            probs = self._conditional_batch(position, column, codes, alive_rows)
             # Truncate, weigh and sample in row chunks: every operation is
             # row-independent, and chunking keeps the temporaries of large
             # micro-batches inside the CPU caches.
@@ -205,18 +383,10 @@ class UniformRegionSampler:
 
     def estimate_selectivity(self, masks: list[np.ndarray | None],
                              num_samples: int = 1000) -> float:
-        domain_sizes = self.model.domain_sizes()
-        region_size = 1.0
-        candidate_codes: list[np.ndarray] = []
-        for column, mask in enumerate(masks):
-            if mask is None:
-                codes = np.arange(domain_sizes[column])
-            else:
-                codes = np.flatnonzero(mask)
-                if codes.size == 0:
-                    return 0.0
-            candidate_codes.append(codes)
-            region_size *= float(codes.size)
+        candidate_codes, region_size = _region_candidates(
+            self.model.domain_sizes(), masks)
+        if candidate_codes is None:
+            return 0.0
 
         samples = np.stack([
             codes[self._rng.integers(0, codes.size, size=num_samples)]
@@ -236,15 +406,9 @@ def enumerate_region(model, masks: list[np.ndarray | None],
         If the region contains more than ``max_points`` points — the situation
         in which the paper switches to progressive sampling.
     """
-    domain_sizes = model.domain_sizes()
-    per_column_codes: list[np.ndarray] = []
-    region_size = 1.0
-    for column, mask in enumerate(masks):
-        codes = np.arange(domain_sizes[column]) if mask is None else np.flatnonzero(mask)
-        if codes.size == 0:
-            return 0.0
-        per_column_codes.append(codes)
-        region_size *= float(codes.size)
+    per_column_codes, region_size = _region_candidates(model.domain_sizes(), masks)
+    if per_column_codes is None:
+        return 0.0
     if region_size > max_points:
         raise ValueError(
             f"query region has {region_size:.3g} points, enumeration capped at "

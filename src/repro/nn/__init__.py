@@ -10,7 +10,7 @@ pieces from scratch so the estimator is self-contained:
 * :mod:`repro.nn.serialization` — ``.npz`` model checkpoints.
 """
 
-from .autograd import Tensor, no_grad, concatenate
+from .autograd import Tensor, concatenate, no_grad, rowwise_matmul_data
 from .functional import (
     binary_cross_entropy,
     cross_entropy,
@@ -44,6 +44,7 @@ __all__ = [
     "Tensor",
     "no_grad",
     "concatenate",
+    "rowwise_matmul_data",
     "relu",
     "sigmoid",
     "tanh",

@@ -19,9 +19,28 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "rowwise_matmul_data"]
 
 _GRAD_ENABLED = True
+
+
+def rowwise_matmul_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` evaluated one row of ``a`` at a time (row-exact matmul).
+
+    BLAS gemm kernels pick different instruction blockings for different
+    batch sizes, so ``(a @ b)[rows]`` and ``a[rows] @ b`` can disagree in the
+    last ulp — which breaks any scheme that evaluates a *subset* of rows and
+    expects the bits of the full evaluation (prefix deduplication, the
+    conditional LRU cache, chunked dispatch).  This kernel instead maps the
+    gufunc form of :func:`numpy.matmul` over the rows, so each output row is
+    the standalone ``(1, k) @ (k, n)`` product of its input row alone: the
+    result is a pure per-row function, identical for any batch composition,
+    at ~1-2x the cost of one fused gemm.
+    """
+    if a.shape[0] == 0:
+        return np.empty((0, b.shape[1]))
+    expanded = np.broadcast_to(b, (a.shape[0],) + b.shape)
+    return np.matmul(a[:, None, :], expanded)[:, 0, :]
 
 
 class no_grad:
@@ -259,6 +278,22 @@ class Tensor:
         return self._make(a.data @ b.data, (a, b), backward)
 
     __matmul__ = matmul
+
+    def rowwise_matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product computed row by row, see :func:`rowwise_matmul_data`.
+
+        Forward values are bit-identical for any grouping of the rows of
+        ``self`` (unlike :meth:`matmul`, whose BLAS kernel rounds differently
+        per batch size); gradients are the ordinary matmul gradients.
+        """
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(out.grad @ b.data.T)
+            b._accumulate(a.data.T @ out.grad)
+
+        return self._make(rowwise_matmul_data(a.data, b.data), (a, b), backward)
 
     # ------------------------------------------------------------------ #
     # Elementwise nonlinearities

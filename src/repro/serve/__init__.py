@@ -176,6 +176,7 @@ from .cache import (
     CachedConditionalModel,
     CacheStats,
     ConditionalProbCache,
+    PackedConditionalCache,
     ResultCache,
     ResultCacheStats,
     canonical_query_key,
@@ -234,6 +235,7 @@ __all__ = [
     "query_rng",
     "VirtualClock",
     "ConditionalProbCache",
+    "PackedConditionalCache",
     "CachedConditionalModel",
     "CacheStats",
     "ResultCache",

@@ -247,6 +247,11 @@ def _serve_single(arguments) -> int:
               f"({stats.cache['hits']} hits / {stats.cache['misses']} misses)")
         print(f"  model rows       {stats.cache['rows_evaluated']} evaluated, "
               f"{stats.cache['rows_served_from_cache']} served from cache")
+    if stats.rows_submitted:
+        print(f"  prefix dedup     {stats.rows_submitted} rows -> "
+              f"{stats.unique_rows} unique ({stats.dedup_ratio:.2f}x), "
+              f"{stats.rows_evaluated} model-evaluated in "
+              f"{stats.forward_calls} forward calls")
 
     document = {"engine": stats.as_dict(),
                 "estimates": [result.selectivity for result in report.results]}
@@ -390,6 +395,10 @@ def _serve_multi(arguments) -> int:
     if stats.timeout_flushes:
         print(f"  {stats.timeout_flushes} micro-batches dispatched by the "
               f"flush timeout")
+    if stats.rows_submitted:
+        print(f"  prefix dedup: {stats.rows_submitted} rows -> "
+              f"{stats.unique_rows} unique ({stats.dedup_ratio:.2f}x), "
+              f"{stats.rows_evaluated} model-evaluated")
     if stats.shed:
         print(f"  shed {stats.shed} queries at the admission limit "
               f"(max_pending={arguments.max_pending}, policy=shed)")
@@ -515,6 +524,10 @@ def _serve_procfleet(arguments, registry, queries) -> int:
     if stats.timeout_flushes:
         print(f"  {stats.timeout_flushes} micro-batches dispatched by the "
               f"flush timeout")
+    if stats.rows_submitted:
+        print(f"  prefix dedup: {stats.rows_submitted} rows -> "
+              f"{stats.unique_rows} unique ({stats.dedup_ratio:.2f}x), "
+              f"{stats.rows_evaluated} model-evaluated")
     for route, route_stats in stats.routes.items():
         print(f"  {route:<24} {route_stats['num_queries']:>4} queries in "
               f"{route_stats['num_batches']} batches on "

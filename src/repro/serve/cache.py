@@ -35,8 +35,9 @@ import numpy as np
 
 from ..query.predicates import Operator, Query
 
-__all__ = ["CacheStats", "ConditionalProbCache", "CachedConditionalModel",
-           "ResultCacheStats", "ResultCache", "canonical_query_key"]
+__all__ = ["CacheStats", "ConditionalProbCache", "PackedConditionalCache",
+           "CachedConditionalModel", "ResultCacheStats", "ResultCache",
+           "canonical_query_key"]
 
 
 @dataclass
@@ -119,6 +120,123 @@ class ConditionalProbCache:
         self._entries.clear()
 
 
+class PackedConditionalCache:
+    """Vectorized conditional store keyed on packed prefix codes.
+
+    The deduplicating progressive sampler hands the serving layer batches
+    that are already one row per *distinct* prefix, with every prefix
+    packable into a single int64 (mixed-radix over the visible columns).
+    This store exploits that shape: per column it keeps a sorted int64 key
+    array with an aligned ``(entries, domain)`` value matrix, so a
+    thousand-row lookup is one :func:`numpy.searchsorted` and a bulk insert
+    is one merge-and-argsort — a handful of C calls where the
+    :class:`ConditionalProbCache` pays a Python dict dance per row.  On the
+    serving hot path that bookkeeping, not the model, was the dominant cost.
+
+    Capacity is generational, not LRU: once the total number of stored
+    distributions exceeds ``max_entries``, entries older than the median
+    insertion batch are dropped in one vectorized sweep.  True LRU would
+    reintroduce per-row bookkeeping on every hit, which is exactly the cost
+    this store exists to avoid; dropping the older half approximates it well
+    for workloads whose hot prefixes recur (they are re-inserted on the next
+    miss).
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum total number of cached distributions across all columns.
+        ``0`` disables storage (every lookup misses and nothing is kept).
+    """
+
+    def __init__(self, max_entries: int = 262144) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._keys: dict[int, np.ndarray] = {}
+        self._values: dict[int, np.ndarray] = {}
+        self._stamps: dict[int, np.ndarray] = {}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return sum(keys.size for keys in self._keys.values())
+
+    def bulk_get(self, column: int, packed: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        """Look up an array of packed prefixes of one column at once.
+
+        Returns ``(found, values)`` where ``found`` is a boolean mask over
+        ``packed`` and ``values`` holds the cached distributions of the found
+        keys in order (``None`` when nothing was found).
+        """
+        keys = self._keys.get(column)
+        if keys is None or keys.size == 0:
+            self.stats.misses += packed.size
+            return np.zeros(packed.size, dtype=bool), None
+        positions = np.searchsorted(keys, packed)
+        positions[positions == keys.size] = 0  # out-of-range probes can't match
+        found = keys[positions] == packed
+        hits = int(np.count_nonzero(found))
+        self.stats.hits += hits
+        self.stats.misses += packed.size - hits
+        if hits == 0:
+            return found, None
+        return found, self._values[column][positions[found]]
+
+    def bulk_put(self, column: int, packed: np.ndarray,
+                 distributions: np.ndarray) -> None:
+        """Insert distinct packed prefixes with their distribution rows.
+
+        Callers must not re-insert keys already stored for ``column`` (the
+        wrapper only inserts rows that just missed); violating this wastes
+        memory but stays correct — lookups resolve to one of the duplicates.
+        """
+        if self.max_entries == 0 or packed.size == 0:
+            return
+        stamps = np.full(packed.size, self._clock, dtype=np.int64)
+        self._clock += 1
+        keys = self._keys.get(column)
+        if keys is None:
+            order = np.argsort(packed, kind="stable")
+            self._keys[column] = packed[order]
+            # Fancy indexing copies — the cache never aliases caller memory.
+            self._values[column] = np.asarray(distributions)[order]
+            self._stamps[column] = stamps
+        else:
+            # Sorted-merge by insertion: the store is already sorted, so the
+            # new keys' slots come from one binary search and the splice is a
+            # C-level memmove — no re-sort of the whole column.
+            order = np.argsort(packed, kind="stable")
+            sorted_new = packed[order]
+            positions = np.searchsorted(keys, sorted_new)
+            self._keys[column] = np.insert(keys, positions, sorted_new)
+            self._values[column] = np.insert(self._values[column], positions,
+                                             np.asarray(distributions)[order],
+                                             axis=0)
+            self._stamps[column] = np.insert(self._stamps[column], positions,
+                                             stamps)
+        while len(self) > self.max_entries:
+            self._evict_old()
+
+    def _evict_old(self) -> None:
+        """Drop entries older than the median insertion batch, every column."""
+        cutoff = np.median(np.concatenate(list(self._stamps.values())))
+        for column in list(self._keys):
+            keep = self._stamps[column] > cutoff
+            dropped = int(keep.size - np.count_nonzero(keep))
+            if dropped == 0:
+                continue
+            self.stats.evictions += dropped
+            self._keys[column] = self._keys[column][keep]
+            self._values[column] = self._values[column][keep]
+            self._stamps[column] = self._stamps[column][keep]
+
+    def clear(self) -> None:
+        """Drop every cached distribution (counters are left untouched)."""
+        self._keys.clear()
+        self._values.clear()
+        self._stamps.clear()
+
+
 class CachedConditionalModel:
     """Drop-in model wrapper that memoises ``conditional_probs`` per prefix.
 
@@ -154,17 +272,38 @@ class CachedConditionalModel:
         serving can stack tens of thousands of sample paths into one request;
         chunking keeps each forward pass inside the CPU caches, which is
         several times faster per row than one huge pass.
+    assume_unique:
+        Promise that every batch already carries *distinct* prefixes — the
+        contract of the prefix-deduplicating progressive sampler
+        (:class:`repro.core.progressive.ProgressiveSampler` with ``dedup``
+        on).  The wrapper then skips its own deduplication pass and always
+        consults the LRU map (``bypass_fraction`` is ignored: with all-unique
+        batches the distinct fraction is always 1, which would otherwise
+        bypass the map and destroy warm-cache reuse across micro-batches).
     """
 
-    def __init__(self, model, cache: ConditionalProbCache | None = None,
+    def __init__(self, model,
+                 cache: ConditionalProbCache | PackedConditionalCache | None = None,
                  max_entries: int = 262144, bypass_fraction: float = 0.5,
-                 chunk_rows: int = 4096) -> None:
+                 chunk_rows: int = 4096, assume_unique: bool = False) -> None:
         if chunk_rows < 1:
             raise ValueError("chunk_rows must be positive")
+        if isinstance(cache, PackedConditionalCache) and not assume_unique:
+            raise ValueError("PackedConditionalCache requires assume_unique "
+                             "batches (the deduplicating sampler contract)")
         self.model = model
-        self.cache = cache if cache is not None else ConditionalProbCache(max_entries)
+        if cache is None:
+            cache = (PackedConditionalCache(max_entries) if assume_unique
+                     else ConditionalProbCache(max_entries))
+        self.cache = cache
         self.bypass_fraction = bypass_fraction
         self.chunk_rows = chunk_rows
+        self.assume_unique = assume_unique
+        #: Rows this wrapper pushed through the model.  Unlike
+        #: ``stats.rows_evaluated`` (which lives on the cache and is shared by
+        #: every replica of a group) this counter is wrapper-local, so each
+        #: engine can report its own model work without double counting.
+        self.rows_evaluated = 0
         self.order = list(model.order)
         self._prefix_columns = {
             column: self.order[:position]
@@ -232,12 +371,20 @@ class CachedConditionalModel:
 
         if not prefix_columns:
             # Single shared prefix (the empty one): at most one model row.
-            key = (column_index, b"")
-            distribution = self.cache.get(key)
+            if isinstance(self.cache, PackedConditionalCache):
+                probe = np.zeros(1, dtype=np.int64)
+                found, values = self.cache.bulk_get(column_index, probe)
+                distribution = values[0] if found[0] else None
+            else:
+                distribution = self.cache.get((column_index, b""))
             if distribution is None:
                 distribution = self.model.conditional_probs(column_index, codes[:1])[0]
-                self.cache.put(key, distribution)
+                if isinstance(self.cache, PackedConditionalCache):
+                    self.cache.bulk_put(column_index, probe, distribution[None, :])
+                else:
+                    self.cache.put((column_index, b""), distribution)
                 self.stats.rows_evaluated += 1
+                self.rows_evaluated += 1
                 self.stats.rows_served_from_cache += num_rows - 1
             else:
                 self.stats.rows_served_from_cache += num_rows
@@ -245,6 +392,58 @@ class CachedConditionalModel:
 
         prefixes = np.ascontiguousarray(codes[:, prefix_columns])
         radix = self._prefix_radix[column_index]
+
+        if self.assume_unique:
+            # Rows are already one-per-prefix (deduplicating sampler): key
+            # them directly — no unique pass, no inverse scatter — and always
+            # consult the store so prefixes recur across micro-batches for
+            # free.
+            if isinstance(self.cache, PackedConditionalCache):
+                if radix is None:
+                    # Prefix too wide to pack into one int64 — the rows are
+                    # already deduplicated, so just evaluate them uncached.
+                    fresh = self._evaluate(column_index, codes)
+                    self.stats.misses += num_rows
+                    self.stats.rows_evaluated += num_rows
+                    self.rows_evaluated += num_rows
+                    return fresh
+                packed = prefixes @ radix
+                table = np.empty((num_rows, domain))
+                found, values = self.cache.bulk_get(column_index, packed)
+                if values is not None:
+                    table[found] = values
+                missing_rows = np.flatnonzero(~found)
+                if missing_rows.size:
+                    fresh = self._evaluate(column_index, codes[missing_rows])
+                    table[missing_rows] = fresh
+                    self.cache.bulk_put(column_index, packed[missing_rows], fresh)
+                    self.stats.rows_evaluated += missing_rows.size
+                    self.rows_evaluated += missing_rows.size
+                self.stats.rows_served_from_cache += num_rows - missing_rows.size
+                return table
+            if radix is not None:
+                keys = [(column_index, int(value)) for value in prefixes @ radix]
+            else:
+                keys = [(column_index, prefixes[row].tobytes())
+                        for row in range(num_rows)]
+            table = np.empty((num_rows, domain))
+            missing: list[int] = []
+            for row, key in enumerate(keys):
+                cached = self.cache.get(key)
+                if cached is None:
+                    missing.append(row)
+                else:
+                    table[row] = cached
+            if missing:
+                fresh = self._evaluate(column_index, codes[missing])
+                for position, row in enumerate(missing):
+                    table[row] = fresh[position]
+                    self.cache.put(keys[row], fresh[position].copy())
+                self.stats.rows_evaluated += len(missing)
+                self.rows_evaluated += len(missing)
+            self.stats.rows_served_from_cache += num_rows - len(missing)
+            return table
+
         if radix is not None:
             packed = prefixes @ radix
             unique, first_rows, inverse = np.unique(packed, return_index=True,
@@ -260,6 +459,7 @@ class CachedConditionalModel:
             # cost more than it saves — deduplicate only.
             fresh = self._evaluate(column_index, codes[first_rows])
             self.stats.rows_evaluated += num_unique
+            self.rows_evaluated += num_unique
             self.stats.rows_served_from_cache += num_rows - num_unique
             return fresh[inverse]
 
@@ -286,6 +486,7 @@ class CachedConditionalModel:
                 table[group] = fresh[position]
                 self.cache.put(keys[group], fresh[position].copy())
             self.stats.rows_evaluated += len(missing)
+            self.rows_evaluated += len(missing)
         self.stats.rows_served_from_cache += num_rows - len(missing)
         return table[inverse]
 

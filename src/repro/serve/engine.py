@@ -37,7 +37,8 @@ import numpy as np
 
 from ..core.progressive import ProgressiveSampler
 from ..query.predicates import Query
-from .cache import CachedConditionalModel, ConditionalProbCache
+from .cache import (CachedConditionalModel, ConditionalProbCache,
+                    PackedConditionalCache)
 
 __all__ = ["EstimateResult", "BatchRecord", "EngineStats", "EngineReport",
            "EstimationEngine", "VirtualClock", "run_sequential", "query_rng"]
@@ -142,12 +143,26 @@ class EngineStats:
     #: Micro-batches of this scope dispatched by the flush deadline rather
     #: than by filling up or an explicit flush.
     timeout_flushes: int = 0
+    #: Alive sample-path rows that needed a model conditional at some column.
+    rows_submitted: int = 0
+    #: Rows left after the sampler's prefix deduplication (what the cache or
+    #: model actually received); equals ``rows_submitted`` when dedup is off.
+    unique_rows: int = 0
+    #: Rows pushed through the network itself (after dedup *and* cache hits).
+    rows_evaluated: int = 0
+    #: ``conditional_probs`` calls issued by the progressive sampler.
+    forward_calls: int = 0
     cache: dict | None = None
 
     @property
     def queries_per_second(self) -> float:
         """Served queries over summed batch-dispatch time (0 when idle)."""
         return self.num_queries / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Row shrink factor of prefix deduplication (1.0 when idle or off)."""
+        return self.rows_submitted / self.unique_rows if self.unique_rows else 1.0
 
     def as_dict(self) -> dict:
         """Plain-dict form of the stats, ready for JSON serialisation."""
@@ -159,6 +174,11 @@ class EngineStats:
             "num_samples": self.num_samples,
             "batch_size": self.batch_size,
             "timeout_flushes": self.timeout_flushes,
+            "rows_submitted": self.rows_submitted,
+            "unique_rows": self.unique_rows,
+            "rows_evaluated": self.rows_evaluated,
+            "forward_calls": self.forward_calls,
+            "dedup_ratio": self.dedup_ratio,
             "cache": self.cache,
         }
 
@@ -208,6 +228,13 @@ class EstimationEngine:
         cache thrashes (every batch evicts the entries the next one needs).
     seed:
         Base seed of the per-query random streams, see :func:`query_rng`.
+    dedup:
+        Deduplicate the visible prefixes of each micro-batch's sample paths
+        before the model/cache sees them (default on), and key the
+        conditional cache on the already-unique rows
+        (``assume_unique``, see :class:`CachedConditionalModel`).  For
+        row-exact models (MADE, the oracle) estimates are bit-identical
+        with dedup on or off; turn it off to measure the unfused path.
     result_sink:
         Optional callable invoked with each :class:`EstimateResult` the
         moment its micro-batch dispatches.  The fleet router uses this to
@@ -247,8 +274,9 @@ class EstimationEngine:
     def __init__(self, estimator, *, batch_size: int = 32,
                  num_samples: int | None = None, use_cache: bool = True,
                  cache_entries: int = 262144, seed: int = 0,
+                 dedup: bool = True,
                  result_sink=None,
-                 cache: ConditionalProbCache | None = None,
+                 cache: ConditionalProbCache | PackedConditionalCache | None = None,
                  batch_hook=None, clock=None,
                  flush_after_ms: float | None = None) -> None:
         if batch_size < 1:
@@ -259,6 +287,7 @@ class EstimationEngine:
         self.estimator = estimator
         self.batch_size = batch_size
         self.seed = seed
+        self.dedup = dedup
         self.clock = clock if clock is not None else time.perf_counter
         self.flush_after_ms = flush_after_ms
         self._result_sink = result_sink
@@ -273,14 +302,28 @@ class EstimationEngine:
         self._batched = model is not None and all(
             hasattr(model, attribute)
             for attribute in ("conditional_probs", "domain_sizes", "order"))
-        self._cache: ConditionalProbCache | None = None
+        self._cache: ConditionalProbCache | PackedConditionalCache | None = None
         self._sampler: ProgressiveSampler | None = None
+        self._wrapper: CachedConditionalModel | None = None
         if self._batched:
             if use_cache:
-                self._cache = (cache if cache is not None
-                               else ConditionalProbCache(cache_entries))
-                model = CachedConditionalModel(model, cache=self._cache)
-            self._sampler = ProgressiveSampler(model, seed=seed)
+                if cache is not None:
+                    self._cache = cache
+                elif dedup:
+                    # The deduplicating sampler hands over distinct packed
+                    # prefixes, so the vectorized store applies.
+                    self._cache = PackedConditionalCache(cache_entries)
+                else:
+                    self._cache = ConditionalProbCache(cache_entries)
+                # With a deduplicating sampler the wrapper receives distinct
+                # prefixes only; assume_unique skips its redundant unique pass
+                # and keys the store on the rows directly.
+                self._wrapper = CachedConditionalModel(
+                    model, cache=self._cache, assume_unique=dedup)
+                model = self._wrapper
+            self._sampler = ProgressiveSampler(model, seed=seed, dedup=dedup)
+        self._sampler_snapshot = (0, 0, 0)
+        self._wrapper_rows_snapshot = 0
 
         self._pending: list[tuple[int, Query, float]] = []
         self._next_index = 0
@@ -378,6 +421,12 @@ class EstimationEngine:
         self._next_index = 0
         self._results = []
         self._batches = []
+        # Row-accounting counters are lifetime totals on the sampler and the
+        # cache wrapper; snapshot them so the next report covers this scope.
+        if self._sampler is not None:
+            self._sampler_snapshot = self._sampler.stats.snapshot()
+        if self._wrapper is not None:
+            self._wrapper_rows_snapshot = self._wrapper.rows_evaluated
 
     def run(self, queries: list[Query]) -> EngineReport:
         """Serve a whole workload and return per-query results plus stats.
@@ -401,6 +450,33 @@ class EstimationEngine:
         self.flush()
         return self.report()
 
+    def scope_counters(self) -> dict[str, int]:
+        """Row-accounting deltas of the current workload scope.
+
+        The fused hot path's counters (on the sampler and the cache wrapper)
+        are lifetime totals; this returns the deltas since the last
+        :meth:`reset` — the numbers :meth:`report` folds into
+        :class:`EngineStats`, exported separately so cross-process fleet
+        workers can ship them up the pipe.
+        """
+        rows_submitted = unique_rows = forward_calls = rows_evaluated = 0
+        if self._sampler is not None:
+            base = self._sampler_snapshot
+            current = self._sampler.stats.snapshot()
+            rows_submitted = current[0] - base[0]
+            unique_rows = current[1] - base[1]
+            forward_calls = current[2] - base[2]
+            if self._wrapper is not None:
+                rows_evaluated = (self._wrapper.rows_evaluated
+                                  - self._wrapper_rows_snapshot)
+            else:
+                # No cache in front: every deduplicated row hits the model.
+                rows_evaluated = unique_rows
+        return {"rows_submitted": rows_submitted,
+                "unique_rows": unique_rows,
+                "rows_evaluated": rows_evaluated,
+                "forward_calls": forward_calls}
+
     def report(self) -> EngineReport:
         """Snapshot of everything served so far (results in submission order)."""
         elapsed_s = sum(batch.latency_ms for batch in self._batches) / 1000.0
@@ -412,6 +488,7 @@ class EstimationEngine:
             batch_size=self.batch_size,
             timeout_flushes=sum(batch.timeout_flush for batch in self._batches),
             cache=self.cache_stats,
+            **self.scope_counters(),
         )
         results = sorted(self._results, key=lambda result: result.index)
         return EngineReport(results=results, batches=list(self._batches),
@@ -459,15 +536,44 @@ class EstimationEngine:
             masks_batch, num_samples=self.num_samples, rngs=rngs)
 
 
+class _UnfusedConditionals:
+    """Adapter pinning a model to its pre-fusion reference path.
+
+    Models exposing ``conditional_probs_unfused`` (see
+    :class:`repro.core.made.AutoregressiveModel`) answer each conditional by
+    running the *full* forward pass and slicing out one column — the serving
+    path as it existed before the fused column-sliced kernel.  The sequential
+    baseline routes through it so the throughput benchmark compares the fused
+    stack against what it replaced; the two paths are bit-identical in value
+    (the fast path's defining property), so drift between the baselines stays
+    exactly zero.  Models without the reference method are used as-is.
+    """
+
+    def __init__(self, model) -> None:
+        self.model = model
+        self.order = list(model.order)
+        self._conditional = getattr(model, "conditional_probs_unfused",
+                                    model.conditional_probs)
+
+    def domain_sizes(self) -> list[int]:
+        return self.model.domain_sizes()
+
+    def conditional_probs(self, column_index: int, codes: np.ndarray) -> np.ndarray:
+        return self._conditional(column_index, codes)
+
+
 def run_sequential(estimator, queries: list[Query], *,
                    num_samples: int | None = None, seed: int = 0,
                    indices: list[int] | None = None) -> EngineReport:
-    """Unbatched, uncached baseline: one sampler pass per query.
+    """Unbatched, uncached, unfused baseline: one full-forward sampler pass
+    per query.
 
     Uses the same deterministic per-query streams as
     :class:`EstimationEngine`, so the estimates match the batched engine's
-    (up to float round-off) while paying the full sequential cost — the
-    comparison the throughput benchmark reports.  ``indices`` overrides the
+    bit for bit (the fused stack is value-identical to this reference) while
+    paying the full pre-optimisation cost: no micro-batching, no conditional
+    cache, no prefix deduplication, and every conditional runs the whole
+    network (:class:`_UnfusedConditionals`).  ``indices`` overrides the
     per-query workload indices (the fleet baseline passes each query's global
     submission index so the streams match the routed engines').
     """
@@ -482,7 +588,10 @@ def run_sequential(estimator, queries: list[Query], *,
         indices = list(range(len(queries)))
     elif len(indices) != len(queries):
         raise ValueError("indices and queries must have the same length")
-    sampler = ProgressiveSampler(model, seed=seed)
+    # The baseline is deliberately unfused: no prefix deduplication, every
+    # alive sample-path row pays a full-forward model evaluation.
+    sampler = ProgressiveSampler(_UnfusedConditionals(model), seed=seed,
+                                 dedup=False)
     table = estimator.table
     results: list[EstimateResult] = []
     batches: list[BatchRecord] = []
@@ -506,5 +615,10 @@ def run_sequential(estimator, queries: list[Query], *,
     elapsed_s = sum(batch.latency_ms for batch in batches) / 1000.0
     stats = EngineStats(num_queries=len(results), num_batches=len(batches),
                         elapsed_s=elapsed_s, num_samples=num_samples,
-                        batch_size=1, cache=None)
+                        batch_size=1,
+                        rows_submitted=sampler.stats.rows_submitted,
+                        unique_rows=sampler.stats.unique_rows,
+                        rows_evaluated=sampler.stats.unique_rows,
+                        forward_calls=sampler.stats.forward_calls,
+                        cache=None)
     return EngineReport(results=results, batches=batches, stats=stats)

@@ -201,7 +201,10 @@ def worker_main(worker_id: int, conn, spec: dict) -> None:
       consumed — the quantity the bench's capacity accounting aggregates.
     * ``("reset",)`` — start a fresh workload scope on every engine (caches
       survive, exactly like the single-process fleet).
-    * ``("report",)`` — reply ``("report", worker_id, {key: cache_stats})``.
+    * ``("report",)`` — reply ``("report", worker_id, {key: {"cache":
+      cache_stats, "counters": scope_counters}})`` carrying each engine's
+      conditional-cache counters and its row-accounting scope deltas
+      (:meth:`~repro.serve.engine.EstimationEngine.scope_counters`).
     * ``("stop",)`` — reply ``("stopped", worker_id)`` and exit.
 
     Any worker-side exception is formatted and sent up as ``("error",
@@ -273,7 +276,8 @@ def worker_main(worker_id: int, conn, spec: dict) -> None:
                 log.write("reset (new workload scope)")
             elif kind == "report":
                 conn.send(("report", worker_id,
-                           {key: engine.cache_stats
+                           {key: {"cache": engine.cache_stats,
+                                  "counters": engine.scope_counters()}
                             for key, engine in engines.items()}))
             elif kind == "stop":
                 log.write("stopping (graceful drain complete)")
@@ -451,7 +455,7 @@ class ProcessFleet:
         self._batch_counters: dict[tuple[str, int], int] = {}
         self._results: dict[tuple[str, int], list[EstimateResult]] = {}
         self._records: dict[tuple[str, int], list[BatchRecord]] = {}
-        self._cache_stats: dict[tuple[str, int], dict | None] = {}
+        self._engine_stats: dict[tuple[str, int], dict] = {}
         self._worker_tallies: dict[int, dict] = {}
         self._next_index = 0
         self._next_batch_id = 0
@@ -587,7 +591,7 @@ class ProcessFleet:
         try:
             self.flush()
             self._drain(block=True)
-            self._refresh_cache_stats()
+            self._refresh_engine_stats()
         except Exception:
             pass  # best-effort drain; the hard stop below always runs
         finally:
@@ -834,8 +838,8 @@ class ProcessFleet:
         self._worker_tallies = {}
         self._next_index = 0
 
-    def _refresh_cache_stats(self) -> None:
-        """Pull current per-engine cache counters from every live worker."""
+    def _refresh_engine_stats(self) -> None:
+        """Pull per-engine cache counters and scope deltas from live workers."""
         for worker_id, handle in self._handles.items():
             if handle.stopped or not handle.process.is_alive():
                 continue
@@ -845,7 +849,7 @@ class ProcessFleet:
                 if handle.conn.poll(_POLL_S):
                     message = handle.conn.recv()
                     if message[0] == "report":
-                        self._cache_stats.update(message[2])
+                        self._engine_stats.update(message[2])
                         break
                     self._handle_message(message)  # stray result, fold it in
                 elif not handle.process.is_alive():
@@ -892,7 +896,7 @@ class ProcessFleet:
         """
         if not self._closed:
             self.collect()
-            self._refresh_cache_stats()
+            self._refresh_engine_stats()
         route_reports: dict[str, list[EngineReport]] = {}
         served = {route for route, _ in
                   set(self._results) | set(self._records)}
@@ -902,6 +906,7 @@ class ProcessFleet:
             reports = []
             for replica in range(self._replica_counts[route]):
                 key = (route, replica)
+                entry = self._engine_stats.get(key) or {}
                 results = sorted(self._results.get(key, []),
                                  key=lambda result: result.index)
                 records = list(self._records.get(key, []))
@@ -914,7 +919,8 @@ class ProcessFleet:
                     batch_size=self.batch_size,
                     timeout_flushes=sum(record.timeout_flush
                                         for record in records),
-                    cache=self._cache_stats.get(key))
+                    cache=entry.get("cache"),
+                    **entry.get("counters", {}))
                 reports.append(EngineReport(results=results, batches=records,
                                             stats=stats))
             route_reports[route] = reports

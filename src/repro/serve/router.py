@@ -54,7 +54,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..query.predicates import Query
-from .cache import ConditionalProbCache, ResultCache, canonical_query_key
+from .cache import (ConditionalProbCache, PackedConditionalCache, ResultCache,
+                    canonical_query_key)
 from .engine import EngineReport, EstimationEngine, run_sequential
 from .registry import ModelRegistry
 
@@ -239,6 +240,14 @@ class FleetStats:
     #: Micro-batches this scope dispatched by a flush deadline
     #: (``flush_after_ms``) rather than by filling up, fleet-wide.
     timeout_flushes: int = 0
+    #: Fleet-wide row accounting of the fused hot path (summed over routes):
+    #: sample-path rows that needed a conditional, rows left after prefix
+    #: deduplication, rows actually pushed through a network, and sampler
+    #: ``conditional_probs`` calls.
+    rows_submitted: int = 0
+    unique_rows: int = 0
+    rows_evaluated: int = 0
+    forward_calls: int = 0
     #: Per-worker serving tallies when the report came from a
     #: :class:`repro.serve.procfleet.ProcessFleet` (``None`` on in-process
     #: routers): worker id -> pid, log path, hosted engines, query/batch
@@ -267,6 +276,11 @@ class FleetStats:
         """
         return self.num_queries / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    @property
+    def dedup_ratio(self) -> float:
+        """Fleet-wide row shrink factor of prefix deduplication (1.0 idle)."""
+        return self.rows_submitted / self.unique_rows if self.unique_rows else 1.0
+
     def as_dict(self) -> dict:
         """Plain-dict form of the stats, ready for JSON serialisation."""
         return {
@@ -282,6 +296,11 @@ class FleetStats:
             "queue_wait_ms": self.queue_wait_ms,
             "e2e_ms": self.e2e_ms,
             "timeout_flushes": self.timeout_flushes,
+            "rows_submitted": self.rows_submitted,
+            "unique_rows": self.unique_rows,
+            "rows_evaluated": self.rows_evaluated,
+            "forward_calls": self.forward_calls,
+            "dedup_ratio": self.dedup_ratio,
             "workers": self.workers,
             "routes": self.routes,
         }
@@ -362,6 +381,33 @@ class FleetReport:
         """
         return self.stats.latency_ms
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the whole report: stats plus per-query results.
+
+        ``stats`` is :meth:`FleetStats.as_dict` (which already carries the
+        per-route breakdown, the row-accounting counters and the dedup
+        ratio); ``results`` holds one entry per served query in global
+        submission order.  The CLI's fleet modes dump exactly this.
+        """
+        return {
+            "stats": self.stats.as_dict(),
+            "result_cache_hits": self.result_cache_hits,
+            "results": [
+                {
+                    "index": result.index,
+                    "route": result.route,
+                    "query": str(result.query),
+                    "selectivity": result.selectivity,
+                    "cardinality": result.cardinality,
+                    "batch_index": result.batch_index,
+                    "replica": result.replica,
+                    "queue_wait_ms": result.queue_wait_ms,
+                    "e2e_ms": result.e2e_ms,
+                }
+                for result in self.results
+            ],
+        }
+
 
 def _per_query_latencies(batches) -> tuple[list[float], list[float]]:
     """Flatten batch records into per-query (queue wait, end-to-end) lists.
@@ -429,6 +475,8 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
                          for record in report.batches]
         all_batches.extend(route_batches)
         route_waits, route_e2es = _per_query_latencies(route_batches)
+        rows_submitted = sum(stats.rows_submitted for stats in replica_stats)
+        unique_rows = sum(stats.unique_rows for stats in replica_stats)
         routes_stats[route] = {
             "num_queries": num_queries,
             "num_batches": sum(stats.num_batches for stats in replica_stats),
@@ -436,6 +484,13 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
             "queries_per_second": num_queries / elapsed_s if elapsed_s > 0 else 0.0,
             "num_samples": replica_stats[0].num_samples,
             "batch_size": replica_stats[0].batch_size,
+            "rows_submitted": rows_submitted,
+            "unique_rows": unique_rows,
+            "rows_evaluated": sum(stats.rows_evaluated
+                                  for stats in replica_stats),
+            "forward_calls": sum(stats.forward_calls
+                                 for stats in replica_stats),
+            "dedup_ratio": rows_submitted / unique_rows if unique_rows else 1.0,
             "cache": _route_cache_dict([stats.cache for stats in replica_stats]),
             "num_replicas": len(reports),
             # Replicas share one group-wide conditional cache, so cache
@@ -470,6 +525,14 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
         e2e_ms=latency_percentiles(fleet_e2es),
         timeout_flushes=sum(entry["timeout_flushes"]
                             for entry in routes_stats.values()),
+        rows_submitted=sum(entry["rows_submitted"]
+                           for entry in routes_stats.values()),
+        unique_rows=sum(entry["unique_rows"]
+                        for entry in routes_stats.values()),
+        rows_evaluated=sum(entry["rows_evaluated"]
+                           for entry in routes_stats.values()),
+        forward_calls=sum(entry["forward_calls"]
+                          for entry in routes_stats.values()),
         workers=workers,
         routes=routes_stats,
     )
@@ -509,7 +572,7 @@ class ReplicaGroup:
     def __init__(self, route: str, engines: list[EstimationEngine], *,
                  max_pending: int | None = None,
                  overflow: str = "block",
-                 cache: ConditionalProbCache | None = None) -> None:
+                 cache: ConditionalProbCache | PackedConditionalCache | None = None) -> None:
         if not engines:
             raise ValueError("a replica group needs at least one engine")
         _validate_admission(max_pending, overflow)
@@ -596,7 +659,11 @@ class FleetRouter:
         Progressive sample paths per query; ``None`` defers to each
         estimator's own config.
     use_cache:
-        Enable the per-replica conditional-probability LRU caches.
+        Enable the per-replica conditional-probability caches.
+    dedup:
+        Run each engine's sampler with prefix deduplication (the fused hot
+        path, on by default).  Bit-exact either way — the flag exists so the
+        invariance suite can prove it and benchmarks can measure it.
     cache_entries:
         *Shared* fleet-wide cache budget (total entries across all replica
         caches plus, when enabled, the result cache); each cache receives an
@@ -650,7 +717,8 @@ class FleetRouter:
                  default_route: str | None = None,
                  max_pending: int | None = None, overflow: str = "block",
                  result_cache: bool = False, on_result=None,
-                 flush_after_ms: float | None = None, clock=None) -> None:
+                 flush_after_ms: float | None = None, clock=None,
+                 dedup: bool = True) -> None:
         if len(registry) == 0:
             raise ValueError("the registry has no relations to serve")
         if batch_size < 1:
@@ -668,6 +736,7 @@ class FleetRouter:
         self.batch_size = batch_size
         self.num_samples = num_samples
         self.use_cache = use_cache
+        self.dedup = dedup
         self.cache_entries = cache_entries
         # One shared budget, one slice per cache that actually exists: each
         # replica's conditional cache (only when use_cache is on) plus one
@@ -767,16 +836,24 @@ class FleetRouter:
             # One conditional cache for the whole group: the replicas share
             # the relation's one model, so the group pools its replicas'
             # budget slices instead of fragmenting hot prefixes N ways.
-            shared_cache = (ConditionalProbCache(
-                self.cache_entries_per_model * replicas)
-                if self.use_cache else None)
+            # Deduplicating engines hand over distinct packed prefixes, so
+            # their shared store is the vectorized packed-prefix one (see
+            # PackedConditionalCache) rather than the per-row LRU map.
+            if not self.use_cache:
+                shared_cache = None
+            elif self.dedup:
+                shared_cache = PackedConditionalCache(
+                    self.cache_entries_per_model * replicas)
+            else:
+                shared_cache = ConditionalProbCache(
+                    self.cache_entries_per_model * replicas)
             engines = [
                 EstimationEngine(
                     estimator, batch_size=self.batch_size,
                     num_samples=self.num_samples, use_cache=self.use_cache,
                     cache_entries=self.cache_entries_per_model, seed=self.seed,
                     result_sink=make_sink(replica), cache=shared_cache,
-                    clock=self.clock,
+                    clock=self.clock, dedup=self.dedup,
                     flush_after_ms=self.effective_flush_after(route))
                 for replica in range(replicas)
             ]

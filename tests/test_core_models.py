@@ -141,6 +141,54 @@ class TestMADEModel:
         assert nll == pytest.approx(-model.log_prob(codes).mean(), rel=1e-6)
 
 
+class TestFusedConditionalKernel:
+    """Bit-exactness of the column-sliced serving fast path.
+
+    The fused :meth:`MADEModel.conditional_probs` must return the *very bits*
+    of the unfused reference (full forward, slice one column) — not merely
+    values within tolerance — because the serving stack's prefix
+    deduplication, caching and chunking all rely on regrouping rows freely.
+    """
+
+    @pytest.mark.parametrize("order", [None, [2, 0, 1]])
+    def test_sliced_equals_full_forward_bitwise(self, embed_table, order):
+        model = MADEModel(embed_table, hidden_sizes=(24, 24), order=order,
+                          seed=4)
+        codes = embed_table.encoded()[:48]
+        for column in range(embed_table.num_columns):
+            fused = model.conditional_probs(column, codes)
+            reference = model.conditional_probs_unfused(column, codes)
+            assert np.array_equal(fused, reference)
+
+    def test_row_subsets_return_identical_bits(self, embed_table):
+        # Row-exactness: evaluating any subset, in any order, with repeats,
+        # returns exactly the rows of the full-batch result.
+        model = MADEModel(embed_table, hidden_sizes=(24, 24), seed=4)
+        codes = embed_table.encoded()[:48]
+        full = model.conditional_probs(1, codes)
+        subset = np.array([7, 3, 3, 47, 0, 21])
+        assert np.array_equal(model.conditional_probs(1, codes[subset]),
+                              full[subset])
+
+    def test_shared_placeholder_columns_are_exact(self, embed_table):
+        # Serving batches hold a shared placeholder (0) in every not-yet
+        # sampled column; the kernel's broadcast shortcut for such constant
+        # columns must not change a single bit.
+        model = MADEModel(embed_table, hidden_sizes=(24, 24), seed=4)
+        codes = embed_table.encoded()[:48].copy()
+        codes[:, 2] = 0
+        assert np.array_equal(model.conditional_probs(1, codes),
+                              model.conditional_probs_unfused(1, codes))
+
+    def test_no_hidden_layer_model_still_exact(self, embed_table):
+        model = MADEModel(embed_table, hidden_sizes=(), seed=4)
+        codes = embed_table.encoded()[:16]
+        for column in range(embed_table.num_columns):
+            assert np.array_equal(
+                model.conditional_probs(column, codes),
+                model.conditional_probs_unfused(column, codes))
+
+
 class TestColumnNetworkModel:
     def test_conditional_outputs_are_distributions(self, embed_table):
         model = ColumnNetworkModel(embed_table, hidden_sizes=(16, 16), seed=0)

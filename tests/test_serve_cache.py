@@ -11,9 +11,11 @@ from repro.core import NaruConfig
 from repro.data import make_users
 from repro.query import Operator, Predicate, Query
 from repro.serve import (
+    CachedConditionalModel,
     ConditionalProbCache,
     FleetRouter,
     ModelRegistry,
+    PackedConditionalCache,
     ResultCache,
     canonical_query_key,
 )
@@ -174,6 +176,101 @@ class TestSharedBudgetSplit:
             assert len(router.group("users_b")) == 3
         finally:
             registry.set_replicas("users_b", 3)
+
+
+class TestPackedConditionalCache:
+    """The vectorized store behind the deduplicating serve path."""
+
+    def _distributions(self, keys):
+        # A distinct, recognisable row per key so lookups are checkable.
+        return np.stack([np.full(4, float(key)) for key in keys])
+
+    def test_bulk_roundtrip_and_counters(self):
+        cache = PackedConditionalCache()
+        keys = np.array([40, 10, 30], dtype=np.int64)
+        cache.bulk_put(0, keys, self._distributions(keys))
+        probe = np.array([10, 20, 30, 40, 99], dtype=np.int64)
+        found, values = cache.bulk_get(0, probe)
+        np.testing.assert_array_equal(found, [True, False, True, True, False])
+        np.testing.assert_allclose(values[:, 0], [10.0, 30.0, 40.0])
+        assert len(cache) == 3
+        assert cache.stats.hits == 3 and cache.stats.misses == 2
+
+    def test_merge_insert_keeps_store_sorted(self):
+        cache = PackedConditionalCache()
+        first = np.array([50, 10], dtype=np.int64)
+        second = np.array([30, 70, 5], dtype=np.int64)
+        cache.bulk_put(2, first, self._distributions(first))
+        cache.bulk_put(2, second, self._distributions(second))
+        probe = np.array([5, 10, 30, 50, 70], dtype=np.int64)
+        found, values = cache.bulk_get(2, probe)
+        assert found.all()
+        np.testing.assert_allclose(values[:, 0], probe.astype(float))
+
+    def test_columns_are_independent(self):
+        cache = PackedConditionalCache()
+        keys = np.array([7], dtype=np.int64)
+        cache.bulk_put(0, keys, self._distributions(keys))
+        found, values = cache.bulk_get(1, keys)
+        assert not found.any() and values is None
+
+    def test_generational_eviction_bounds_size(self):
+        cache = PackedConditionalCache(max_entries=8)
+        for batch in range(6):
+            keys = np.arange(batch * 4, batch * 4 + 4, dtype=np.int64)
+            cache.bulk_put(0, keys, self._distributions(keys))
+        assert len(cache) <= 8
+        assert cache.stats.evictions > 0
+        # The newest batch always survives an eviction sweep.
+        newest = np.arange(20, 24, dtype=np.int64)
+        found, _ = cache.bulk_get(0, newest)
+        assert found.all()
+
+    def test_zero_capacity_disables_storage(self):
+        cache = PackedConditionalCache(max_entries=0)
+        keys = np.array([1, 2], dtype=np.int64)
+        cache.bulk_put(0, keys, self._distributions(keys))
+        found, values = cache.bulk_get(0, keys)
+        assert not found.any() and values is None and len(cache) == 0
+
+    def test_clear_and_negative_capacity(self):
+        cache = PackedConditionalCache()
+        keys = np.array([1], dtype=np.int64)
+        cache.bulk_put(0, keys, self._distributions(keys))
+        cache.clear()
+        assert len(cache) == 0
+        with pytest.raises(ValueError):
+            PackedConditionalCache(max_entries=-1)
+
+    def test_requires_assume_unique_wrapper(self, users_model):
+        with pytest.raises(ValueError):
+            CachedConditionalModel(users_model,
+                                   cache=PackedConditionalCache())
+
+    def test_wrapped_model_is_bit_exact(self, users_model, users_table):
+        wrapped = CachedConditionalModel(users_model, assume_unique=True)
+        assert isinstance(wrapped.cache, PackedConditionalCache)
+        codes = users_table.encoded()[:64]
+        for column in range(users_table.num_columns):
+            unique_codes = np.unique(codes[:, :], axis=0)
+            expected = users_model.conditional_probs(column, unique_codes)
+            # Cold pass evaluates, warm pass must serve the same bits.
+            cold = wrapped.conditional_probs(column, unique_codes)
+            warm = wrapped.conditional_probs(column, unique_codes)
+            assert np.array_equal(cold, expected)
+            assert np.array_equal(warm, expected)
+        assert wrapped.stats.hits > 0
+
+
+@pytest.fixture(scope="module")
+def users_table():
+    return make_users(num_users=80, seed=6)
+
+
+@pytest.fixture(scope="module")
+def users_model(users_table):
+    from repro.core import MADEModel
+    return MADEModel(users_table, hidden_sizes=(8, 8), seed=0)
 
 
 class TestConditionalBudgetUnderReplication:

@@ -120,6 +120,34 @@ def test_grid_matches_sequential_baseline(fleet, workload, baseline,
 
 
 @pytest.mark.parametrize("batch_size", _BATCH_SIZES)
+@pytest.mark.parametrize("replicas", _REPLICAS)
+def test_dedup_grid_is_bit_identical(fleet, workload, batch_size, replicas):
+    """Prefix deduplication changes performance counters, never an estimate.
+
+    Stronger than the baseline comparisons above: dedup on vs off at the
+    *same* batch shape is exactly equal (no ``atol``) — the sampler kernel is
+    row-exact and dedup only regroups rows, so the two runs must return the
+    very same bits.
+    """
+    fused = _router(fleet, batch_size=batch_size, replicas=replicas,
+                    result_cache=False).run(workload)
+    for name in fleet.names:
+        fleet.set_replicas(name, replicas)
+    try:
+        unfused_router = FleetRouter(
+            fleet, batch_size=batch_size, num_samples=_SAMPLES, seed=_SEED,
+            default_route=_DEFAULT_ROUTE, dedup=False)
+    finally:
+        for name in fleet.names:
+            fleet.set_replicas(name, 1)
+    unfused = unfused_router.run(workload)
+    assert np.array_equal(fused.selectivities, unfused.selectivities)
+    # The fused run really did deduplicate; the unfused one really did not.
+    assert fused.stats.unique_rows < fused.stats.rows_submitted
+    assert unfused.stats.unique_rows == unfused.stats.rows_submitted
+
+
+@pytest.mark.parametrize("batch_size", _BATCH_SIZES)
 @pytest.mark.parametrize("replicas", (1, 2))
 @pytest.mark.parametrize("arrival", ["inorder", "shuffled"])
 def test_streaming_grid_matches_sequential_baseline(fleet, workload, baseline,
