@@ -46,6 +46,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
     "serve_procfleet": ("Cross-process sharded fleet: N OS worker processes "
                         "vs the single-process router",
                         experiments.serve_procfleet),
+    "serve_refresh": ("Live refresh under partitioned ingest: stale-model "
+                      "q-error degrades, one fine-tune recovers it, zero "
+                      "invalid cache hits",
+                      experiments.serve_refresh),
 }
 
 

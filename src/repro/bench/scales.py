@@ -106,6 +106,18 @@ class ExperimentScale:
     serve_proc_batch_size: int = 12
     serve_proc_epochs: int = 5
     serve_proc_workers: int = 4
+    # Live-refresh experiment (serve_refresh): a PartitionedIngest replayed
+    # against a fleet with an epoch-keyed result cache — the stale model's
+    # q-error degrades partition by partition, one fine-tune refresh
+    # recovers it, and a cold-router cross-check proves zero invalid cache
+    # hits survived the epoch bumps.
+    serve_refresh_rows: int = 3_000
+    serve_refresh_queries: int = 48
+    serve_refresh_samples: int = 600
+    serve_refresh_batch_size: int = 12
+    serve_refresh_epochs: int = 6
+    serve_refresh_partitions: int = 4
+    serve_refresh_fine_tune_epochs: int = 1
 
 
 SMOKE = ExperimentScale(
@@ -190,6 +202,13 @@ PAPER = ExperimentScale(
     serve_proc_batch_size=16,
     serve_proc_epochs=12,
     serve_proc_workers=4,
+    serve_refresh_rows=10_000,
+    serve_refresh_queries=200,
+    serve_refresh_samples=1_200,
+    serve_refresh_batch_size=16,
+    serve_refresh_epochs=12,
+    serve_refresh_partitions=5,
+    serve_refresh_fine_tune_epochs=2,
 )
 
 

@@ -13,7 +13,7 @@ from .datasets import (
     make_users,
 )
 from .joins import JoinSampler, JoinSpec, hash_join
-from .shift import PartitionedIngest, partition_by_column
+from .shift import PartitionedIngest, encode_with_dictionaries, partition_by_column
 from .table import Column, Table
 
 __all__ = [
@@ -34,5 +34,6 @@ __all__ = [
     "JoinSampler",
     "JoinSpec",
     "partition_by_column",
+    "encode_with_dictionaries",
     "PartitionedIngest",
 ]

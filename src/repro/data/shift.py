@@ -12,7 +12,30 @@ import numpy as np
 
 from .table import Table
 
-__all__ = ["partition_by_column", "PartitionedIngest"]
+__all__ = ["partition_by_column", "encode_with_dictionaries", "PartitionedIngest"]
+
+
+def encode_with_dictionaries(base: Table, rows: Table) -> np.ndarray | None:
+    """Encode ``rows`` with ``base``'s per-column dictionaries.
+
+    The ingest/refresh path needs newly arrived tuples expressed in the code
+    space of the *already trained* model — ``rows.encoded()`` would re-derive
+    fresh dictionaries and silently renumber every code.  Returns an
+    ``(num_rows, num_columns)`` int64 array, or ``None`` when any value is
+    outside ``base``'s dictionaries (the caller must then rebuild the model
+    from scratch instead of fine-tuning it).
+    """
+    if base.column_names != rows.column_names:
+        raise ValueError("cannot encode rows with a different schema")
+    encoded = []
+    for name in base.column_names:
+        domain = base.column(name).domain
+        values = rows.column(name).values
+        codes = np.clip(np.searchsorted(domain, values), 0, len(domain) - 1)
+        if not np.array_equal(domain[codes], values):
+            return None
+        encoded.append(codes.astype(np.int64))
+    return np.stack(encoded, axis=1)
 
 
 def partition_by_column(table: Table, column_name: str,

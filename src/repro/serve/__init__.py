@@ -170,6 +170,37 @@ crashed worker surfaces as a typed :class:`WorkerError` (never a hang), and
 is the command-line form (SIGTERM triggers the same graceful drain); the
 ``serve_procfleet`` benchmark measures the scale-out claim and
 ``docs/operations.md`` is the operator's handbook.
+
+Live refresh and epochs
+-----------------------
+Data does not stand still.  :meth:`ModelRegistry.ingest` appends rows to a
+relation and bumps its monotonic **data epoch**; every cache layer is keyed
+on the epoch, so a bump invalidates cached answers atomically with zero
+stale hits — while the fleet keeps *serving* from the stale model (at its
+old row count) until a refresh swaps the next version in.
+:class:`RefreshController` runs that loop: it scores each ingest's **drift**
+(excess bits per tuple under the current model), flags a relation once it
+exceeds the staleness bound or drift threshold, fine-tunes the existing
+model on the grown relation and re-registers it with ``replace=True`` —
+stamping ``model_epoch = data_epoch``, so routers rebuild the relation's
+replica group (fresh conditional caches included) at their next scope
+boundary.  Reports expose ``stats.epochs`` and ``stats.max_staleness``; a
+:class:`ProcessFleet`, whose workers hold npz-copied models no parent-side
+bump can reach, refuses a moved epoch with a typed
+:class:`StaleEpochError` instead of serving frozen models::
+
+    from repro.serve import RefreshController
+
+    controller = RefreshController(registry, max_staleness=1)
+    record = controller.ingest("sessions", new_rows)   # epoch bump + drift
+    if record["refresh_due"]:
+        controller.refresh("sessions")                 # atomic model swap
+    report = router.run(workload)                      # rebuilt, zero stale
+    print(report.stats.epochs["sessions"], report.stats.max_staleness)
+
+The ``serve_refresh`` benchmark replays a partitioned ingest against the
+fleet and shows stale-model Q-error degrading under drift and recovering
+after refresh; ``docs/serving.md`` ("Live refresh & epochs") walks the loop.
 """
 
 from .cache import (
@@ -193,11 +224,13 @@ from .engine import (
 )
 from .procfleet import (
     ProcessFleet,
+    StaleEpochError,
     WorkerError,
     WorkerInfo,
     export_relation,
     restore_estimator,
 )
+from .refresh import RefreshController
 from .registry import ModelRegistry
 from .router import (
     AdmissionError,
@@ -256,6 +289,8 @@ __all__ = [
     "ProcessFleet",
     "WorkerError",
     "WorkerInfo",
+    "StaleEpochError",
+    "RefreshController",
     "export_relation",
     "restore_estimator",
     "AdaptiveBatchController",

@@ -406,6 +406,13 @@ def _serve_multi(arguments) -> int:
         print(f"  result cache: {stats.result_cache['hits']} hits / "
               f"{stats.result_cache['misses']} misses "
               f"({stats.result_cache['hit_rate']:.1%} hit rate)")
+    if stats.epochs:
+        marks = ", ".join(
+            f"{route}@{entry['data_epoch']}"
+            + (f" (model {entry['staleness']} behind)"
+               if entry["staleness"] else "")
+            for route, entry in stats.epochs.items())
+        print(f"  data epochs: {marks}; max staleness {stats.max_staleness}")
     for route, route_stats in stats.routes.items():
         cache = route_stats["cache"]
         hit_rate = f", cache hit rate {cache['hit_rate']:.1%}" if cache else ""
@@ -528,6 +535,13 @@ def _serve_procfleet(arguments, registry, queries) -> int:
         print(f"  prefix dedup: {stats.rows_submitted} rows -> "
               f"{stats.unique_rows} unique ({stats.dedup_ratio:.2f}x), "
               f"{stats.rows_evaluated} model-evaluated")
+    if stats.epochs:
+        marks = ", ".join(
+            f"{route}@{entry['data_epoch']}"
+            + (f" (model {entry['staleness']} behind)"
+               if entry["staleness"] else "")
+            for route, entry in stats.epochs.items())
+        print(f"  data epochs: {marks}; max staleness {stats.max_staleness}")
     for route, route_stats in stats.routes.items():
         print(f"  {route:<24} {route_stats['num_queries']:>4} queries in "
               f"{route_stats['num_batches']} batches on "

@@ -90,6 +90,10 @@ class ConditionalProbCache:
             raise ValueError("max_entries must be non-negative")
         self.max_entries = max_entries
         self.stats = CacheStats()
+        #: Data epoch the cached distributions were computed at (see
+        #: :meth:`invalidate`); informational — the cache holds entries of
+        #: exactly one epoch at a time.
+        self.epoch: int = 0
         self._entries: OrderedDict[tuple[int, bytes], np.ndarray] = OrderedDict()
 
     def __len__(self) -> int:
@@ -118,6 +122,19 @@ class ConditionalProbCache:
     def clear(self) -> None:
         """Drop every cached distribution (counters are left untouched)."""
         self._entries.clear()
+
+    def invalidate(self, epoch: int) -> None:
+        """Atomically drop every entry and stamp the cache with a new epoch.
+
+        Called when the served relation's data epoch moves (rows were
+        ingested): every cached distribution was computed by the previous
+        model/data version, so the whole store is dropped in one sweep —
+        afterwards ``len(cache) == 0`` and no stale distribution can ever be
+        served.  Counters are left untouched (the scope report still covers
+        the pre-bump traffic).
+        """
+        self.clear()
+        self.epoch = int(epoch)
 
 
 class PackedConditionalCache:
@@ -153,6 +170,9 @@ class PackedConditionalCache:
             raise ValueError("max_entries must be non-negative")
         self.max_entries = max_entries
         self.stats = CacheStats()
+        #: Data epoch the cached distributions were computed at (see
+        #: :meth:`invalidate`).
+        self.epoch: int = 0
         self._keys: dict[int, np.ndarray] = {}
         self._values: dict[int, np.ndarray] = {}
         self._stamps: dict[int, np.ndarray] = {}
@@ -235,6 +255,18 @@ class PackedConditionalCache:
         self._keys.clear()
         self._values.clear()
         self._stamps.clear()
+
+    def invalidate(self, epoch: int) -> None:
+        """Atomically drop every entry and stamp the cache with a new epoch.
+
+        The packed store holds distributions of exactly one data/model
+        version; when the served relation's epoch moves the whole store is
+        dropped in one sweep (``len(cache) == 0`` afterwards), so a bumped
+        epoch can never serve a stale distribution.  Counters are left
+        untouched — the scope report still covers the pre-bump traffic.
+        """
+        self.clear()
+        self.epoch = int(epoch)
 
 
 class CachedConditionalModel:
@@ -539,21 +571,51 @@ def canonical_query_key(query: Query, route: str | None = None) -> tuple:
 
 @dataclass
 class ResultCacheStats:
-    """Hit/miss accounting of the fleet-wide result cache."""
+    """Hit/miss accounting of the fleet-wide result cache.
+
+    The plain counters (``hits``/``misses``/``evictions``/``stale_rejects``)
+    cover the current *epoch scope* — traffic since the last
+    :meth:`reset_scope` — so ``hit_rate`` never mixes pre- and
+    post-invalidation traffic.  The ``lifetime_*`` counters roll completed
+    scopes up; lifetime totals are the sum of both.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Lookups that found an entry stored under a *different* data epoch; the
+    #: entry is dropped and the lookup counts as a miss, so a stale result is
+    #: never served.
+    stale_rejects: int = 0
+    #: Rollup of the counters of completed epoch scopes (see
+    #: :meth:`reset_scope`); excludes the current scope.
+    lifetime_hits: int = 0
+    lifetime_misses: int = 0
+    lifetime_evictions: int = 0
+    lifetime_stale_rejects: int = 0
 
     @property
     def lookups(self) -> int:
-        """Total result lookups: hits plus misses."""
+        """Total result lookups of the current scope: hits plus misses."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups answered from memory (0 when idle)."""
+        """Fraction of this scope's lookups answered from memory (0 when idle)."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset_scope(self) -> None:
+        """Fold the current scope's counters into the lifetime rollup and zero them.
+
+        Called by :meth:`ResultCache.clear` so the hit rate reported after an
+        epoch invalidation describes post-invalidation traffic only, while
+        the lifetime rollup keeps the full history.
+        """
+        self.lifetime_hits += self.hits
+        self.lifetime_misses += self.misses
+        self.lifetime_evictions += self.evictions
+        self.lifetime_stale_rejects += self.stale_rejects
+        self.hits = self.misses = self.evictions = self.stale_rejects = 0
 
     def as_dict(self) -> dict:
         """Plain-dict form of the counters, ready for JSON serialisation."""
@@ -562,6 +624,13 @@ class ResultCacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
+            "stale_rejects": self.stale_rejects,
+            "lifetime": {
+                "hits": self.lifetime_hits + self.hits,
+                "misses": self.lifetime_misses + self.misses,
+                "evictions": self.lifetime_evictions + self.evictions,
+                "stale_rejects": self.lifetime_stale_rejects + self.stale_rejects,
+            },
         }
 
 
@@ -570,8 +639,14 @@ class ResultCache:
 
     Layered *above* the per-model conditional-probability caches: a hit skips
     routing a query into any micro-batch at all.  Entries are selectivities
-    (not cardinalities), so a cached answer stays valid under
-    ``set_row_count``-style row-count updates of the serving relation.
+    (not cardinalities), so a cached answer stays valid under a pure
+    ``set_row_count``-style rescaling of the serving relation — but **not**
+    under data changes: the moment rows are appended (or the serving model is
+    swapped) the cached selectivity itself is wrong.  Every entry is therefore
+    stamped with the epoch it was computed at, and :meth:`get` refuses —
+    drops, counts as :attr:`ResultCacheStats.stale_rejects` and reports a
+    miss — any entry whose stored epoch differs from the requested one, so a
+    bumped epoch invalidates the cache with zero stale hits by construction.
 
     Parameters
     ----------
@@ -586,7 +661,7 @@ class ResultCache:
             raise ValueError("max_entries must be non-negative")
         self.max_entries = max_entries
         self.stats = ResultCacheStats()
-        self._entries: OrderedDict[tuple, float] = OrderedDict()
+        self._entries: OrderedDict[tuple, tuple[float, object]] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -594,27 +669,49 @@ class ResultCache:
     def __contains__(self, key: tuple) -> bool:
         return key in self._entries
 
-    def get(self, key: tuple) -> float | None:
-        """Look up one selectivity, updating LRU order and counters."""
+    def epoch_of(self, key: tuple) -> object | None:
+        """The epoch one entry was stored at (``None`` when absent, no counters)."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry[1]
+
+    def get(self, key: tuple, epoch: object = 0) -> float | None:
+        """Look up one selectivity, updating LRU order and counters.
+
+        An entry stored under any epoch other than ``epoch`` is stale: it is
+        dropped, counted in :attr:`ResultCacheStats.stale_rejects` and the
+        lookup reports a miss — the caller recomputes against the current
+        model/data version.
+        """
         try:
-            selectivity = self._entries[key]
+            selectivity, stored_epoch = self._entries[key]
         except KeyError:
+            self.stats.misses += 1
+            return None
+        if stored_epoch != epoch:
+            del self._entries[key]
+            self.stats.stale_rejects += 1
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
         return selectivity
 
-    def put(self, key: tuple, selectivity: float) -> None:
-        """Insert one result, evicting the LRU entry when full."""
+    def put(self, key: tuple, selectivity: float, epoch: object = 0) -> None:
+        """Insert one result stamped with its epoch, evicting LRU when full."""
         if self.max_entries == 0:
             return
-        self._entries[key] = float(selectivity)
+        self._entries[key] = (float(selectivity), epoch)
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
     def clear(self) -> None:
-        """Drop every cached result (counters are left untouched)."""
+        """Drop every cached result and start a fresh stats scope.
+
+        The scope counters fold into the lifetime rollup (see
+        :meth:`ResultCacheStats.reset_scope`), so the hit rate reported after
+        an invalidation never mixes pre- and post-epoch traffic.
+        """
         self._entries.clear()
+        self.stats.reset_scope()

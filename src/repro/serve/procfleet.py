@@ -63,8 +63,8 @@ from .engine import (BatchRecord, EngineReport, EngineStats, EstimateResult,
 from .registry import ModelRegistry
 from .router import (FleetReport, _merge_reports, replica_for, resolve_route)
 
-__all__ = ["WorkerError", "WorkerInfo", "ProcessFleet", "export_relation",
-           "restore_estimator", "worker_main"]
+__all__ = ["WorkerError", "WorkerInfo", "StaleEpochError", "ProcessFleet",
+           "export_relation", "restore_estimator", "worker_main"]
 
 #: Granularity of the parent's liveness checks while waiting on workers.
 _POLL_S = 0.05
@@ -148,6 +148,31 @@ class WorkerError(RuntimeError):
         self.exit_code = exit_code
         self.log_path = log_path
         self.remote_traceback = remote_traceback
+
+
+class StaleEpochError(RuntimeError):
+    """The registry's epoch moved past the models a fleet's workers hold.
+
+    Worker processes serve from npz-copied model snapshots frozen at fleet
+    construction; a parent-side :meth:`~repro.serve.registry.ModelRegistry
+    .ingest` or refresh swap can never reach them.  Rather than silently
+    serving frozen models against moved data, the fleet refuses with this
+    typed error — the remedy is to build a new :class:`ProcessFleet` (which
+    re-exports the registry's current models) after closing this one.
+    """
+
+    def __init__(self, route: str, fleet_epoch: tuple[int, int],
+                 registry_epoch: tuple[int, int]) -> None:
+        super().__init__(
+            f"relation {route!r} was exported at epoch "
+            f"(data={fleet_epoch[0]}, model={fleet_epoch[1]}) but the "
+            f"registry is now at (data={registry_epoch[0]}, "
+            f"model={registry_epoch[1]}); the workers' npz-copied models are "
+            "stale — close this fleet and build a new ProcessFleet to "
+            "re-export the current models")
+        self.route = route
+        self.fleet_epoch = fleet_epoch
+        self.registry_epoch = registry_epoch
 
 
 @dataclass(frozen=True)
@@ -440,6 +465,12 @@ class ProcessFleet:
                     for name in registry.names}
         self._rows = {name: registry.serving_rows(name)
                       for name in registry.names}
+        # Epoch snapshot of the exported models: a later parent-side ingest
+        # or refresh can never reach the workers' npz copies, so any epoch
+        # mismatch at serve time raises StaleEpochError instead of silently
+        # answering from frozen models.
+        self._epochs = {name: registry.serving_epoch(name)
+                        for name in registry.names}
         self._samples_by_route = {
             name: (num_samples
                    or getattr(payloads[name]["config"], "progressive_samples",
@@ -648,6 +679,7 @@ class ProcessFleet:
         if self._closed:
             raise RuntimeError("the fleet is closed; no further submissions")
         route = resolve_route(self.registry, query, self.default_route)
+        self._check_epoch(route)
         if index is None:
             index = self._next_index
         replica = replica_for(route, index, self._replica_counts[route])
@@ -818,12 +850,23 @@ class ProcessFleet:
         self.collect()
         return self.report()
 
+    def _check_epoch(self, route: str) -> None:
+        """Refuse to serve a route whose registry epoch moved past the export."""
+        snapshot = self._epochs.get(route)
+        if snapshot is None:
+            return  # registered after construction; no worker hosts it anyway
+        current = self.registry.serving_epoch(route)
+        if current != snapshot:
+            raise StaleEpochError(route, snapshot, current)
+
     def _begin_scope(self) -> None:
         """Start a fresh workload scope: reset indices and worker engines."""
         if self._pending or self._inflight:
             raise RuntimeError("submitted queries are still pending or in "
                                "flight; call flush() and collect() before "
                                "run()")
+        for route in self._epochs:
+            self._check_epoch(route)
         for handle in self._handles.values():
             if not handle.stopped:
                 try:
@@ -928,7 +971,15 @@ class ProcessFleet:
             route_reports, num_models=len(self.registry),
             cache_entries_total=self.cache_entries,
             cache_entries_per_model=self.cache_entries_per_model,
-            workers=self.worker_stats())
+            workers=self.worker_stats(),
+            epochs={
+                name: {
+                    "data_epoch": self.registry.data_epoch(name),
+                    "model_epoch": self.registry.model_epoch(name),
+                    "staleness": self.registry.staleness(name),
+                }
+                for name in self.registry.names
+            })
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "live"

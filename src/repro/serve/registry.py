@@ -66,6 +66,10 @@ class ModelRegistry:
         self._replicas: dict[str, int] = {}
         self._slos: dict[str, float] = {}
         self._flush_afters: dict[str, float] = {}
+        #: Monotonic data epoch per relation: bumped by every :meth:`ingest`.
+        self._epochs: dict[str, int] = {}
+        #: Data epoch each relation's serving model was (re)fitted at.
+        self._model_epochs: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -75,7 +79,8 @@ class ModelRegistry:
                        estimator: CardinalityEstimator | None = None,
                        replicas: int = 1,
                        slo_ms: float | None = None,
-                       flush_after_ms: float | None = None) -> str:
+                       flush_after_ms: float | None = None,
+                       replace: bool = False) -> str:
         """Register a base table as a named relation and return its name.
 
         Parameters
@@ -116,9 +121,18 @@ class ModelRegistry:
             relation dispatches any partially filled micro-batch once its
             oldest query has waited this long, bounding the relation's
             queueing delay.  Tune later with :meth:`set_flush_after`.
+        replace:
+            Allow re-registering an already registered name — the atomic
+            model-swap half of a live refresh (see
+            :class:`repro.serve.refresh.RefreshController`).  The relation's
+            data epoch, replica count, SLO and flush deadline are preserved;
+            when an ``estimator`` is supplied its model epoch is stamped to
+            the current data epoch, marking the relation fresh again.  With
+            the default ``False`` a duplicate name raises.
         """
         name = name or table.name
-        if name in self._relations:
+        replacing = name in self._relations
+        if replacing and not replace:
             raise ValueError(f"relation {name!r} is already registered")
         if replicas < 1:
             raise ValueError(f"replicas must be at least 1, got {replicas}")
@@ -128,25 +142,41 @@ class ModelRegistry:
             raise ValueError(f"flush_after_ms must be positive, got "
                              f"{flush_after_ms}")
         if estimator is not None:
-            if estimator.table is not table:
+            # Structural, not identity: a live refresh legitimately rebuilds
+            # the relation as a new equal-schema Table (concat re-derives the
+            # dictionaries) while the refreshed estimator still points at the
+            # Table it was trained on.  What must match is the schema.
+            if estimator.table.column_names != table.column_names:
                 raise ValueError(
                     f"estimator for {name!r} was built against table "
-                    f"{estimator.table.name!r}, not the registered relation")
+                    f"{estimator.table.name!r}, whose schema does not match "
+                    "the registered relation")
             if not getattr(estimator, "_fitted", True):
                 raise ValueError(
                     f"estimator for {name!r} is not fitted; train it before "
                     "registering (the registry only fits models it builds)")
         self._relations[name] = table
-        self._replicas[name] = replicas
-        if slo_ms is not None:
-            self._slos[name] = float(slo_ms)
-        if flush_after_ms is not None:
-            self._flush_afters[name] = float(flush_after_ms)
+        if not replacing:
+            # A replacement swaps table + model only; replica/SLO/flush
+            # settings (and the data epoch) survive — tune them with the
+            # dedicated setters.
+            self._replicas[name] = replicas
+            if slo_ms is not None:
+                self._slos[name] = float(slo_ms)
+            if flush_after_ms is not None:
+                self._flush_afters[name] = float(flush_after_ms)
         if estimator is not None:
             self._estimators[name] = estimator
             self._fitted.add(name)
-        elif config is not None:
-            self._configs[name] = config
+            self._model_epochs[name] = self._epochs.get(name, 0)
+        else:
+            if replacing:
+                # The old model summarises the old table: drop it so the next
+                # estimator() call rebuilds (and restamps) on the new data.
+                self._estimators.pop(name, None)
+                self._fitted.discard(name)
+            if config is not None:
+                self._configs[name] = config
         return name
 
     def register_join(self, spec: JoinSpec, *,
@@ -261,6 +291,45 @@ class ModelRegistry:
         self.relation(name)
         return self._flush_afters.get(name)
 
+    def data_epoch(self, name: str) -> int:
+        """The relation's monotonic data epoch (0 until the first ingest)."""
+        self.relation(name)
+        return self._epochs.get(name, 0)
+
+    def model_epoch(self, name: str) -> int:
+        """The data epoch the relation's serving model was (re)fitted at."""
+        self.relation(name)
+        return self._model_epochs.get(name, 0)
+
+    def staleness(self, name: str) -> int:
+        """How many ingests the serving model is behind the data (0 = fresh)."""
+        return self.data_epoch(name) - self.model_epoch(name)
+
+    def serving_epoch(self, name: str) -> tuple[int, int]:
+        """The ``(data_epoch, model_epoch)`` pair cached results are keyed on.
+
+        A cached selectivity is valid only while *both* components stand
+        still: an ingest changes the true answer, a model swap changes the
+        served one.  Routers stamp :class:`repro.serve.cache.ResultCache`
+        entries with this pair, so either kind of bump invalidates them.
+        """
+        return (self.data_epoch(name), self.model_epoch(name))
+
+    def ingest(self, name: str, rows: Table) -> int:
+        """Append rows to a relation and bump its data epoch; returns the epoch.
+
+        The relation's backing table is replaced by the concatenation (same
+        schema required, see :meth:`repro.data.Table.concat`); the serving
+        estimator is deliberately left untouched — it keeps serving *stale*
+        estimates at the old row count until a refresh swaps in the next
+        model version (:class:`repro.serve.refresh.RefreshController`).
+        Epoch-keyed caches reject their now-stale entries on the next lookup.
+        """
+        table = self.relation(name)
+        self._relations[name] = table.concat(rows, name=table.name)
+        self._epochs[name] = self._epochs.get(name, 0) + 1
+        return self._epochs[name]
+
     def serving_rows(self, name: str) -> int:
         """The row count estimates for one relation scale by.
 
@@ -355,6 +424,7 @@ class ModelRegistry:
             # estimators are required to arrive fitted at registration.
             estimator.fit()
             self._fitted.add(name)
+            self._model_epochs[name] = self._epochs.get(name, 0)
         return estimator
 
     def fit_all(self) -> dict[str, CardinalityEstimator]:

@@ -253,6 +253,12 @@ class FleetStats:
     #: routers): worker id -> pid, log path, hosted engines, query/batch
     #: counts, summed dispatch latency and busy-CPU time.
     workers: dict[str, dict] | None = None
+    #: Route name -> ``{"data_epoch", "model_epoch", "staleness"}`` of every
+    #: registered relation at report time (``None`` on reports that predate
+    #: epoch accounting, e.g. the sequential baseline).  ``staleness`` counts
+    #: the ingests the serving model is behind the data — non-zero while the
+    #: fleet deliberately serves stale estimates awaiting a refresh.
+    epochs: dict[str, dict] | None = None
     #: Route name -> aggregated group stats: the union of the engine-stats
     #: keys (query/batch counts, QPS, the group cache's counters) plus
     #: ``num_replicas``, ``shed``, ``result_cache_hits``, per-route
@@ -281,6 +287,13 @@ class FleetStats:
         """Fleet-wide row shrink factor of prefix deduplication (1.0 idle)."""
         return self.rows_submitted / self.unique_rows if self.unique_rows else 1.0
 
+    @property
+    def max_staleness(self) -> int:
+        """The worst per-relation staleness in :attr:`epochs` (0 when fresh/unknown)."""
+        if not self.epochs:
+            return 0
+        return max(entry["staleness"] for entry in self.epochs.values())
+
     def as_dict(self) -> dict:
         """Plain-dict form of the stats, ready for JSON serialisation."""
         return {
@@ -302,6 +315,8 @@ class FleetStats:
             "forward_calls": self.forward_calls,
             "dedup_ratio": self.dedup_ratio,
             "workers": self.workers,
+            "epochs": self.epochs,
+            "max_staleness": self.max_staleness,
             "routes": self.routes,
         }
 
@@ -444,7 +459,8 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
                    shed_by_route: dict[str, int] | None = None,
                    result_cache_stats: dict | None = None,
                    batch_traces: dict[str, list[int]] | None = None,
-                   workers: dict[str, dict] | None = None) -> FleetReport:
+                   workers: dict[str, dict] | None = None,
+                   epochs: dict[str, dict] | None = None) -> FleetReport:
     """Fold per-replica reports into one fleet report in global index order."""
     cached_results = cached_results or []
     shed_by_route = shed_by_route or {}
@@ -534,6 +550,7 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
         forward_calls=sum(entry["forward_calls"]
                           for entry in routes_stats.values()),
         workers=workers,
+        epochs=epochs,
         routes=routes_stats,
     )
     return FleetReport(results=merged, routes=route_reports, stats=stats)
@@ -756,6 +773,12 @@ class FleetRouter:
         #: The shared clock of every engine, see the ``clock`` parameter.
         self.clock = clock if clock is not None else time.perf_counter
         self._groups: dict[str, ReplicaGroup] = {}
+        #: Route -> ``registry.serving_epoch`` its group was materialised at.
+        #: A moved epoch (ingest or model swap) makes the group stale: it is
+        #: dropped at the next scope boundary and lazily rebuilt — with the
+        #: registry's current estimator and *fresh* conditional caches — so
+        #: an epoch bump invalidates every cache layer atomically.
+        self._group_epochs: dict[str, tuple[int, int]] = {}
         #: Per-result observer, see the ``on_result`` parameter above.
         self.on_result = on_result
         self._result_cache = (ResultCache(self.cache_entries_per_model)
@@ -784,10 +807,17 @@ class FleetRouter:
         return self._next_index
 
     def _feed_result(self, route: str, result) -> None:
-        """Store one dispatched estimate in the result cache (first in wins)."""
+        """Store one dispatched estimate in the result cache (first in wins).
+
+        Entries are stamped with the route's current serving epoch; an entry
+        left over from an older epoch is overwritten rather than kept — it
+        could never be served again (``get`` rejects stale epochs), so
+        keeping it would only waste an LRU slot.
+        """
         key = canonical_query_key(result.query, route=route)
-        if key not in self._result_cache:
-            self._result_cache.put(key, result.selectivity)
+        epoch = self.registry.serving_epoch(route)
+        if self._result_cache.epoch_of(key) != epoch:
+            self._result_cache.put(key, result.selectivity, epoch=epoch)
 
     def _emit(self, result: RoutedResult) -> None:
         """Hand one finished result to the ``on_result`` observer, if any."""
@@ -859,7 +889,10 @@ class FleetRouter:
             ]
             group = ReplicaGroup(route, engines, max_pending=self.max_pending,
                                  overflow=self.overflow, cache=shared_cache)
+            if shared_cache is not None:
+                shared_cache.epoch = self.registry.data_epoch(route)
             self._groups[route] = group
+            self._group_epochs[route] = self.registry.serving_epoch(route)
             self._group_created(route, group)
         return group
 
@@ -941,8 +974,12 @@ class FleetRouter:
         if self._result_cache is not None:
             # Consult the cache before materialising the route's group: a
             # hit must cost a dictionary lookup, not a lazy model build.
+            # The lookup carries the route's current serving epoch, so an
+            # entry computed before an ingest or model swap is rejected
+            # (never served) even mid-scope.
             key = canonical_query_key(query, route=route)
-            selectivity = self._result_cache.get(key)
+            selectivity = self._result_cache.get(
+                key, epoch=self.registry.serving_epoch(route))
             if selectivity is not None:
                 if index is None:
                     index = self._next_index
@@ -1007,6 +1044,15 @@ class FleetRouter:
             raise RuntimeError("submitted queries are still pending or "
                                "cache-served results are unreported; call "
                                "flush() and report() before run()")
+        # Epoch sync: a group whose relation has been ingested into (or whose
+        # model was swapped by a refresh) is stale — drop it so the next
+        # query routed there lazily rebuilds it around the registry's current
+        # estimator with *fresh* conditional caches.  Doing this only at
+        # scope boundaries makes the swap atomic per workload.
+        for route, built_at in list(self._group_epochs.items()):
+            if self.registry.serving_epoch(route) != built_at:
+                del self._groups[route]
+                del self._group_epochs[route]
         for group in self._groups.values():
             group.reset()
         self._cached_results = []
@@ -1032,11 +1078,23 @@ class FleetRouter:
             shed_by_route={route: group.shed
                            for route, group in self._groups.items()},
             result_cache_stats=result_cache_stats,
-            batch_traces=self._batch_traces())
+            batch_traces=self._batch_traces(),
+            epochs=self._epoch_report())
 
     def _batch_traces(self) -> dict[str, list[int]]:
         """Per-route adaptive batch-size traces (empty on fixed routers)."""
         return {}
+
+    def _epoch_report(self) -> dict[str, dict]:
+        """Per-relation epoch/staleness counters for :attr:`FleetStats.epochs`."""
+        return {
+            name: {
+                "data_epoch": self.registry.data_epoch(name),
+                "model_epoch": self.registry.model_epoch(name),
+                "staleness": self.registry.staleness(name),
+            }
+            for name in self.registry.names
+        }
 
 
 def run_fleet_sequential(registry: ModelRegistry, queries: list[Query], *,

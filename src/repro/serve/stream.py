@@ -312,18 +312,31 @@ class StreamingRouter(FleetRouter):
         return self._controllers[route]
 
     def _group_created(self, route: str, group: ReplicaGroup) -> None:
-        """Attach one shared controller to the freshly materialised group."""
-        # adaptive=False freezes every controller; adaptive=None/True leave
-        # it to the SLO (no SLO anywhere -> disabled controller, fixed batch).
-        slo = self.effective_slo(route)
-        if self.adaptive is False:
-            slo = None
-        controller = AdaptiveBatchController(
-            slo_ms=slo, max_batch=self.batch_size, min_batch=self.min_batch,
-            alpha=self.ewma_alpha, headroom=self.headroom,
-            grow_below=self.grow_below)
-        self._controllers[route] = controller
-        self._scope_marks[route] = controller.observations
+        """Attach one shared controller to the freshly materialised group.
+
+        A route rebuilt after an epoch bump (see
+        :meth:`repro.serve.router.FleetRouter._begin_scope`) keeps the
+        controller it already converged — a data refresh invalidates cached
+        *answers*, not the learned batch size — so only the hook is re-wired
+        onto the new engines, which also start at the converged size.
+        """
+        controller = self._controllers.get(route)
+        if controller is None:
+            # adaptive=False freezes every controller; adaptive=None/True
+            # leave it to the SLO (no SLO anywhere -> disabled controller,
+            # fixed batch).
+            slo = self.effective_slo(route)
+            if self.adaptive is False:
+                slo = None
+            controller = AdaptiveBatchController(
+                slo_ms=slo, max_batch=self.batch_size, min_batch=self.min_batch,
+                alpha=self.ewma_alpha, headroom=self.headroom,
+                grow_below=self.grow_below)
+            self._controllers[route] = controller
+            self._scope_marks[route] = controller.observations
+        else:
+            for engine in group.engines:
+                engine.batch_size = controller.batch_size
 
         def hook(record, group=group, controller=controller):
             # e2e scope steers on the batch's worst submission-to-result

@@ -156,6 +156,82 @@ class TestModelRegistry:
         assert registry.size_bytes() > 0
 
 
+class TestRegistryEpochs:
+    """Data/model epoch stamping: ingest, staleness, and replace semantics."""
+
+    def test_fresh_relation_starts_at_epoch_zero(self, users):
+        registry = ModelRegistry(default_config=_CONFIG)
+        registry.register_table(users)
+        assert registry.data_epoch("users") == 0
+        assert registry.model_epoch("users") == 0
+        assert registry.staleness("users") == 0
+        assert registry.serving_epoch("users") == (0, 0)
+        with pytest.raises(KeyError, match="registered"):
+            registry.data_epoch("nope")
+
+    def test_ingest_bumps_data_epoch_and_grows_relation(self, users):
+        registry = ModelRegistry(default_config=_CONFIG)
+        registry.register_table(users)
+        more = make_users(num_users=30, seed=99)
+        assert registry.ingest("users", more) == 1
+        assert registry.ingest("users", more) == 2
+        grown = registry.relation("users")
+        assert grown.num_rows == users.num_rows + 2 * more.num_rows
+        assert grown.name == users.name
+        assert registry.serving_epoch("users") == (2, 0)
+        assert registry.staleness("users") == 2
+
+    def test_lazy_fit_stamps_model_epoch_to_data_epoch(self, users):
+        registry = ModelRegistry(default_config=_CONFIG)
+        registry.register_table(users)
+        registry.ingest("users", make_users(num_users=20, seed=98))
+        registry.estimator("users")          # lazy fit sees epoch-1 data
+        assert registry.model_epoch("users") == 1
+        assert registry.staleness("users") == 0
+
+    def test_replace_accepts_structurally_equal_table(self, users):
+        # Regression: the old identity check (`estimator.table is not table`)
+        # rejected a refreshed table even when its schema matched exactly.
+        registry = ModelRegistry(default_config=_CONFIG)
+        registry.register_table(users, replicas=2)
+        registry.ingest("users", make_users(num_users=20, seed=97))
+        grown = registry.relation("users")
+        estimator = SamplingEstimator(grown, sample_size=50, seed=1)
+        registry.register_table(grown, name="users", estimator=estimator,
+                                replace=True)
+        assert registry.estimator("users") is estimator
+        assert registry.model_epoch("users") == 1
+        assert registry.staleness("users") == 0
+        # Replace keeps the serving knobs that were tuned on the old version.
+        assert registry.replicas("users") == 2
+
+    def test_replace_requires_opt_in(self, users):
+        registry = ModelRegistry(default_config=_CONFIG)
+        registry.register_table(users)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_table(users, name="users")
+
+    def test_replace_rejects_schema_mismatch(self, users, sessions):
+        registry = ModelRegistry(default_config=_CONFIG)
+        registry.register_table(users)
+        wrong = SamplingEstimator(sessions, sample_size=50, seed=1)
+        with pytest.raises(ValueError, match="built against table"):
+            registry.register_table(users, name="users", estimator=wrong,
+                                    replace=True)
+
+    def test_replace_without_estimator_forces_cold_rebuild(self, users):
+        registry = ModelRegistry(default_config=_CONFIG)
+        registry.register_table(users)
+        first = registry.estimator("users")
+        registry.ingest("users", make_users(num_users=20, seed=96))
+        grown = registry.relation("users")
+        registry.register_table(grown, name="users", replace=True)
+        assert not registry.is_fitted("users")
+        rebuilt = registry.estimator("users")
+        assert rebuilt is not first
+        assert registry.serving_epoch("users") == (1, 1)
+
+
 class TestFleetRouter:
     def test_mixed_workload_routes_every_query(self, fleet, mixed_workload):
         router = FleetRouter(fleet, batch_size=4, num_samples=80, seed=1)

@@ -111,14 +111,71 @@ class TestResultCache:
         assert cache.get(("a",)) == 0.4
         assert cache.stats.lookups == 2
         assert cache.stats.hit_rate == pytest.approx(0.5)
-        assert cache.stats.as_dict() == {"hits": 1, "misses": 1,
-                                         "evictions": 0, "hit_rate": 0.5}
+        assert cache.stats.as_dict() == {
+            "hits": 1, "misses": 1, "evictions": 0, "hit_rate": 0.5,
+            "stale_rejects": 0,
+            "lifetime": {"hits": 1, "misses": 1, "evictions": 0,
+                         "stale_rejects": 0},
+        }
         cache.clear()
         assert len(cache) == 0
 
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             ResultCache(max_entries=-1)
+
+    def test_epoch_mismatch_is_a_counted_miss(self):
+        # The docstring contract: an entry stored at one epoch can never be
+        # served at another — the lookup rejects it, drops it and counts it.
+        cache = ResultCache()
+        cache.put(("q",), 0.25, epoch=(0, 0))
+        assert cache.get(("q",), epoch=(1, 0)) is None   # data epoch moved
+        assert cache.stats.stale_rejects == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+        assert ("q",) not in cache                       # dropped, not kept
+        cache.put(("q",), 0.5, epoch=(1, 0))
+        assert cache.get(("q",), epoch=(1, 1)) is None   # model epoch moved
+        assert cache.stats.stale_rejects == 2
+
+    def test_matching_epoch_serves_and_epoch_of_peeks(self):
+        cache = ResultCache()
+        assert cache.epoch_of(("q",)) is None
+        cache.put(("q",), 0.25, epoch=(2, 1))
+        assert cache.epoch_of(("q",)) == (2, 1)
+        assert cache.get(("q",), epoch=(2, 1)) == 0.25
+        # epoch_of is a peek: it neither counts nor touches LRU order.
+        assert cache.stats.lookups == 1
+
+    def test_default_epoch_keeps_legacy_call_sites_valid(self):
+        # Two-argument put / one-argument get (the pre-epoch API) agree on
+        # the default epoch, so single-epoch users see plain LRU behaviour.
+        cache = ResultCache()
+        cache.put(("q",), 0.75)
+        assert cache.get(("q",)) == 0.75
+        assert cache.stats.stale_rejects == 0
+
+    def test_clear_folds_scope_counters_into_lifetime(self):
+        # Regression: clear() used to leave the scope counters untouched, so
+        # a fleet's per-run stats bled across scope boundaries.  Now clear()
+        # zeroes the scope counters while the lifetime rollup keeps the total.
+        cache = ResultCache()
+        cache.put(("a",), 0.1, epoch=0)
+        assert cache.get(("a",), epoch=0) == 0.1     # 1 hit
+        assert cache.get(("b",), epoch=0) is None    # 1 miss
+        assert cache.get(("a",), epoch=1) is None    # 1 stale reject (+miss)
+        cache.clear()
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        assert cache.stats.stale_rejects == 0
+        rollup = cache.stats.as_dict()["lifetime"]
+        assert rollup == {"hits": 1, "misses": 2, "evictions": 0,
+                          "stale_rejects": 1}
+        # Post-clear activity lands in the fresh scope *and* the rollup.
+        cache.put(("c",), 0.3, epoch=1)
+        assert cache.get(("c",), epoch=1) == 0.3
+        assert cache.stats.hits == 1
+        assert cache.stats.as_dict()["lifetime"]["hits"] == 2
 
 
 class TestSharedBudgetSplit:
@@ -242,6 +299,17 @@ class TestPackedConditionalCache:
         with pytest.raises(ValueError):
             PackedConditionalCache(max_entries=-1)
 
+    def test_invalidate_drops_entries_and_stamps_epoch(self):
+        cache = PackedConditionalCache()
+        keys = np.array([1, 2], dtype=np.int64)
+        cache.bulk_put(0, keys, self._distributions(keys))
+        assert cache.epoch == 0
+        cache.invalidate(3)
+        assert cache.epoch == 3
+        assert len(cache) == 0
+        found, values = cache.bulk_get(0, keys)
+        assert not found.any() and values is None
+
     def test_requires_assume_unique_wrapper(self, users_model):
         with pytest.raises(ValueError):
             CachedConditionalModel(users_model,
@@ -283,3 +351,12 @@ class TestConditionalBudgetUnderReplication:
         # The survivors are the three most recently inserted entries.
         assert cache.get((0, 0)) is None
         assert cache.get((0, 4)) is not None
+
+    def test_invalidate_drops_entries_and_stamps_epoch(self):
+        cache = ConditionalProbCache(max_entries=4)
+        cache.put((0, 1), np.array([0.5]))
+        assert cache.epoch == 0
+        cache.invalidate(2)
+        assert cache.epoch == 2
+        assert len(cache) == 0
+        assert cache.get((0, 1)) is None

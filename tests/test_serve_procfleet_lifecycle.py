@@ -30,6 +30,7 @@ from repro.serve import (
     ModelRegistry,
     ProcessFleet,
     RoutingError,
+    StaleEpochError,
     WorkerError,
     export_relation,
     generate_mixed_workload,
@@ -201,6 +202,47 @@ def test_killed_worker_raises_typed_error_not_hang(registry, workload):
     finally:
         fleet.close()
     assert fleet.closed
+    assert _no_fleet_children()
+
+
+@pytest.mark.timeout(60)
+def test_moved_epoch_refused_with_typed_error():
+    """Workers hold npz-copied models no parent-side ingest can reach, so a
+    fleet built at one epoch refuses to serve once the registry moves on —
+    with a typed StaleEpochError naming both epochs, never by silently
+    answering from the frozen models.  A freshly built fleet (which
+    re-exports the current models) serves again."""
+    own = ModelRegistry(default_config=_CONFIG)
+    own.register_table(make_users(num_users=60, seed=12))
+    own.fit_all()
+    workload = generate_mixed_workload(
+        {name: own.relation(name) for name in own.names}, 6,
+        min_filters=1, max_filters=2, seed=9)
+    with ProcessFleet(own, workers=1, batch_size=4, num_samples=_SAMPLES,
+                      seed=_SEED) as fleet:
+        assert fleet.run(workload).stats.num_queries == len(workload)
+        own.ingest("users", make_users(num_users=10, seed=13))
+        with pytest.raises(StaleEpochError) as caught:
+            fleet.submit(workload[0])        # per-submission guard
+        assert caught.value.route == "users"
+        assert caught.value.fleet_epoch == (0, 0)
+        assert caught.value.registry_epoch == (1, 0)
+        assert "stale" in str(caught.value)
+        with pytest.raises(StaleEpochError):
+            fleet.run(workload)              # scope-boundary guard
+    assert fleet.closed
+    # The prescribed remedy works: a new fleet snapshots the current epoch
+    # and current models, and serves the same workload again.
+    with ProcessFleet(own, workers=1, batch_size=4, num_samples=_SAMPLES,
+                      seed=_SEED) as rebuilt:
+        report = rebuilt.run(workload)
+        assert report.stats.num_queries == len(workload)
+        # The merged report carries the epoch accounting: the rebuilt fleet
+        # serves the old (still-registered) model one data epoch behind.
+        assert report.stats.epochs["users"] == {"data_epoch": 1,
+                                                "model_epoch": 0,
+                                                "staleness": 1}
+        assert report.stats.max_staleness == 1
     assert _no_fleet_children()
 
 
