@@ -26,6 +26,7 @@ Experiment ↔ paper mapping:
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 
 import numpy as np
@@ -89,6 +90,7 @@ __all__ = [
     "serve_stream",
     "serve_procfleet",
     "serve_refresh",
+    "serve_loadgen",
 ]
 
 
@@ -1370,4 +1372,210 @@ def serve_refresh(scale: ExperimentScale | None = None) -> dict:
         "max_staleness_served": max(entry["staleness"] for entry in rows),
         "num_queries": len(queries),
         "estimates": [result.selectivity for result in post_report.results],
+    }
+
+
+def serve_loadgen(scale: ExperimentScale | None = None) -> dict:
+    """Beyond the paper: the latency-vs-offered-load curve and the SLO knee.
+
+    Every other serving benchmark is closed-loop — the next query waits for
+    the previous batch, so the fleet can never be offered more than it
+    completes and overload is invisible.  This one is **open-loop**
+    (:mod:`repro.serve.loadgen`): arrivals land at a configured offered rate
+    regardless of completion rate, paced on a hybrid
+    :class:`repro.serve.VirtualClock` riding the real clock.
+
+    Calibration first, so the claim is hardware-independent: a closed-loop
+    probe at the full micro-batch size measures the host's capacity
+    (completions per wall-second) and its e2e p95; the stated SLO is
+    ``serve_loadgen_slo_multiplier`` times that p95, and the sweep offers
+    ``serve_loadgen_rate_fractions`` times that capacity.  Each rung of the
+    ladder gets a fresh admission-bounded router (``max_pending``,
+    ``overflow="shed"``) and its own Poisson arrival sequence; the rows
+    trace offered vs achieved throughput, shed counts, the pending
+    high-water mark and the latency percentiles, and
+    :func:`repro.serve.locate_knee` reads off the highest offered rate whose
+    e2e p95 still meets the SLO.
+
+    On top of the curve, three chaos drills at the mid rate, each asserted
+    **degraded-not-collapsed** (:func:`repro.serve.assert_degraded_not_collapsed`:
+    bounded queue growth, typed counted shedding, zero estimate drift on
+    every completed query vs the unloaded sequential baseline):
+
+    * ``slow_replica`` — one replica stalls ``delay_ms`` per dispatch from a
+      quarter into the run (injected via the engine ``batch_hook``),
+    * ``cache_wipe`` — every cache layer cleared mid-run,
+    * ``kill_worker`` — a :class:`repro.serve.ProcessFleet` worker is
+      SIGKILLed mid-stream and must surface a typed
+      :class:`repro.serve.WorkerError`, not a hang.
+
+    The arrival traces themselves are checked replayable: record → save →
+    load → save must be byte-identical, and the loaded trace must reproduce
+    the arrival sequence exactly.
+    """
+    from ..data import make_sessions, make_users
+    from ..serve import (
+        ArrivalTrace,
+        CacheWipe,
+        FleetRouter,
+        ModelRegistry,
+        ProcessFleet,
+        SlowReplica,
+        VirtualClock,
+        assert_degraded_not_collapsed,
+        generate_mixed_workload,
+        locate_knee,
+        run_fleet_sequential,
+        run_kill_worker_drill,
+        run_open_loop,
+        sweep_offered_load,
+    )
+
+    scale = scale or active_scale()
+    config = NaruConfig(epochs=scale.serve_loadgen_epochs,
+                        hidden_sizes=(64, 64), batch_size=256,
+                        progressive_samples=scale.serve_loadgen_samples,
+                        seed=0)
+    registry = ModelRegistry(default_config=config)
+    registry.register_table(make_users(scale.serve_loadgen_users),
+                            replicas=scale.serve_loadgen_replicas)
+    registry.register_table(
+        make_sessions(scale.serve_loadgen_rows,
+                      num_users=scale.serve_loadgen_users),
+        replicas=scale.serve_loadgen_replicas)
+    registry.fit_all()
+    queries = generate_mixed_workload(
+        {name: registry.relation(name) for name in registry.names},
+        scale.serve_loadgen_queries, min_filters=2, max_filters=5, seed=0)
+
+    # Trace record/replay: byte-stable files, exact arrival reproduction.
+    recorded = ArrivalTrace.record("poisson", rate_qps=100.0, duration_s=2.0,
+                                   seed=7)
+    first_bytes = recorded.to_json()
+    replayed = None
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.json")
+        recorded.save(path)
+        replayed = ArrivalTrace.load(path)
+    trace_byte_stable = (replayed.to_json() == first_bytes
+                         and replayed.timestamps == recorded.timestamps)
+
+    # Closed-loop probe: the host's capacity (completions per wall-second at
+    # the full batch size) and the service-time e2e p95 the SLO scales from.
+    probe_router = FleetRouter(registry,
+                               batch_size=scale.serve_loadgen_batch_size,
+                               num_samples=scale.serve_loadgen_samples,
+                               seed=0)
+    probe, probe_s = _timed(probe_router.run, queries)
+    capacity_qps = len(queries) / probe_s if probe_s > 0 else float("inf")
+    probe_e2e_p95 = probe.stats.e2e_ms["p95"]
+    slo_ms = probe_e2e_p95 * scale.serve_loadgen_slo_multiplier
+    # A partial micro-batch may linger at most one probe-p95 before it is
+    # force-dispatched, so low offered rates are not dominated by
+    # batch-fill waiting (which would invert the curve).
+    flush_after_ms = probe_e2e_p95
+
+    duration_s = scale.serve_loadgen_duration_s
+    rates = [fraction * capacity_qps
+             for fraction in scale.serve_loadgen_rate_fractions]
+
+    def fresh_router() -> FleetRouter:
+        return FleetRouter(registry,
+                           batch_size=scale.serve_loadgen_batch_size,
+                           num_samples=scale.serve_loadgen_samples, seed=0,
+                           max_pending=scale.serve_loadgen_max_pending,
+                           overflow="shed", flush_after_ms=flush_after_ms,
+                           clock=VirtualClock(base=time.perf_counter))
+
+    rows = sweep_offered_load(fresh_router, queries, rates,
+                              duration_s=duration_s, process="poisson",
+                              seed=0)
+    for fraction, row in zip(scale.serve_loadgen_rate_fractions, rows):
+        row["rate_fraction"] = fraction
+    knee = locate_knee(rows, slo_ms)
+
+    # Chaos drills at the mid offered rate: each must degrade, not collapse.
+    mid_rate = rates[len(rates) // 2]
+    chaos_trace = ArrivalTrace.record("poisson", rate_qps=mid_rate,
+                                      duration_s=duration_s, seed=1)
+    expanded = [queries[i % len(queries)] for i in range(len(chaos_trace))]
+    chaos_baseline = run_fleet_sequential(
+        registry, expanded, num_samples=scale.serve_loadgen_samples, seed=0)
+    scenarios = {}
+    for name, scenario in (
+            ("slow_replica", SlowReplica("sessions", delay_ms=20.0,
+                                         at_fraction=0.25)),
+            ("cache_wipe", CacheWipe(at_fraction=0.5))):
+        outcome = run_open_loop(fresh_router(), queries, chaos_trace,
+                                scenario=scenario)
+        scenarios[name] = assert_degraded_not_collapsed(
+            outcome, baseline=chaos_baseline,
+            max_pending=scale.serve_loadgen_max_pending)
+        scenarios[name]["e2e_p95_ms"] = outcome.e2e_p95_ms
+
+    drill_queries = expanded[:max(4 * scale.serve_loadgen_batch_size
+                                  * scale.serve_loadgen_workers, 64)]
+    fleet = ProcessFleet(registry, workers=scale.serve_loadgen_workers,
+                         batch_size=scale.serve_loadgen_batch_size,
+                         num_samples=scale.serve_loadgen_samples, seed=0,
+                         recv_timeout_s=30.0)
+    try:
+        drill = run_kill_worker_drill(fleet, drill_queries)
+    finally:
+        fleet.close()
+    scenarios["kill_worker"] = drill
+
+    knee_note = (f"knee at {knee['knee_qps']:.1f} qps offered"
+                 if knee["knee_qps"] is not None
+                 else "no offered rate met the SLO")
+    over_note = (f"first over at {knee['first_over_qps']:.1f} qps"
+                 if knee["first_over_qps"] is not None
+                 else "every swept rate met the SLO")
+    text = format_series(
+        rows, ["rate_fraction", "offered_qps", "achieved_qps", "completed",
+               "shed", "peak_pending", "service_p95_ms", "e2e_p95_ms"],
+        f"Latency vs offered load (Poisson arrivals over {duration_s:g} s "
+        f"windows, {len(queries)} distinct queries cycled, "
+        f"max_pending {scale.serve_loadgen_max_pending}, overflow shed): "
+        f"closed-loop capacity {capacity_qps:.1f} qps, e2e p95 SLO "
+        f"{slo_ms:.1f} ms (= {scale.serve_loadgen_slo_multiplier:g}x probe "
+        f"e2e p95 {probe_e2e_p95:.1f} ms, flush timeout "
+        f"{flush_after_ms:.1f} ms; e2e is measured from each query's "
+        f"*scheduled* arrival) -> {knee_note}, {over_note}")
+    chaos_lines = [
+        f"chaos @ {mid_rate:.1f} qps offered:",
+        (f"  slow_replica: completed {scenarios['slow_replica']['completed']}"
+         f", shed {scenarios['slow_replica']['shed']}, peak pending "
+         f"{scenarios['slow_replica']['peak_pending']}, drift "
+         f"{scenarios['slow_replica']['max_estimate_drift']:.1e} — degraded,"
+         " not collapsed"),
+        (f"  cache_wipe:   completed {scenarios['cache_wipe']['completed']}"
+         f", shed {scenarios['cache_wipe']['shed']}, peak pending "
+         f"{scenarios['cache_wipe']['peak_pending']}, drift "
+         f"{scenarios['cache_wipe']['max_estimate_drift']:.1e} — degraded,"
+         " not collapsed"),
+        (f"  kill_worker:  worker {drill['killed_worker']} SIGKILLed after "
+         f"{drill['kill_after']}/{drill['submitted']} submissions -> "
+         f"{drill['error_type']} (exit {drill['error_exit_code']}) in "
+         f"{drill['wall_s']:.2f} s — typed, no hang"),
+        f"trace record/replay byte-stable: {trace_byte_stable}",
+    ]
+    text = text + "\n" + "\n".join(chaos_lines)
+    return {
+        "text": text,
+        "capacity_qps": capacity_qps,
+        "probe_e2e_p95_ms": probe_e2e_p95,
+        "slo_ms": slo_ms,
+        "slo_multiplier": scale.serve_loadgen_slo_multiplier,
+        "flush_after_ms": flush_after_ms,
+        "duration_s": duration_s,
+        "rate_fractions": list(scale.serve_loadgen_rate_fractions),
+        "max_pending": scale.serve_loadgen_max_pending,
+        "curve": rows,
+        "knee": knee,
+        "chaos_offered_qps": mid_rate,
+        "scenarios": scenarios,
+        "trace_byte_stable": trace_byte_stable,
+        "num_queries": len(queries),
+        "workers": scale.serve_loadgen_workers,
     }

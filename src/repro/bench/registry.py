@@ -50,6 +50,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
                       "q-error degrades, one fine-tune recovers it, zero "
                       "invalid cache hits",
                       experiments.serve_refresh),
+    "serve_loadgen": ("Open-loop load generation: latency-vs-offered-load "
+                      "curve, SLO knee, and chaos drills asserted "
+                      "degraded-not-collapsed",
+                      experiments.serve_loadgen),
 }
 
 

@@ -118,6 +118,31 @@ class ExperimentScale:
     serve_refresh_epochs: int = 6
     serve_refresh_partitions: int = 4
     serve_refresh_fine_tune_epochs: int = 1
+    # Open-loop load-generation experiment (serve_loadgen): a closed-loop
+    # probe calibrates the host's capacity, then a ladder of offered rates
+    # (fractions of that capacity) is swept open-loop to trace the
+    # latency-vs-offered-load curve and locate the SLO knee, with chaos
+    # scenarios (slow replica, cache wipe, worker kill) asserted
+    # degraded-not-collapsed at the mid rate.
+    serve_loadgen_rows: int = 2_000
+    serve_loadgen_users: int = 200
+    serve_loadgen_queries: int = 48
+    serve_loadgen_samples: int = 400
+    serve_loadgen_batch_size: int = 8
+    serve_loadgen_epochs: int = 5
+    serve_loadgen_replicas: int = 2
+    serve_loadgen_max_pending: int = 32
+    serve_loadgen_duration_s: float = 1.5
+    #: Offered rates of the sweep, as multiples of the probed closed-loop
+    #: capacity — spanning comfortably-under to far-over saturation so the
+    #: knee always lies inside the swept range.
+    serve_loadgen_rate_fractions: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0)
+    #: The stated e2e p95 SLO, as a multiple of the closed-loop probe's e2e
+    #: p95 — calibrated per machine (like serve_stream_slo_fraction) so the
+    #: knee's existence is hardware-independent: generous enough that the
+    #: lowest offered rates meet it, tight enough that overload misses it.
+    serve_loadgen_slo_multiplier: float = 4.0
+    serve_loadgen_workers: int = 2
 
 
 SMOKE = ExperimentScale(
@@ -209,6 +234,18 @@ PAPER = ExperimentScale(
     serve_refresh_epochs=12,
     serve_refresh_partitions=5,
     serve_refresh_fine_tune_epochs=2,
+    serve_loadgen_rows=6_000,
+    serve_loadgen_users=600,
+    serve_loadgen_queries=120,
+    serve_loadgen_samples=800,
+    serve_loadgen_batch_size=16,
+    serve_loadgen_epochs=10,
+    serve_loadgen_replicas=4,
+    serve_loadgen_max_pending=64,
+    serve_loadgen_duration_s=5.0,
+    serve_loadgen_rate_fractions=(0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0),
+    serve_loadgen_slo_multiplier=4.0,
+    serve_loadgen_workers=4,
 )
 
 

@@ -201,6 +201,42 @@ bump can reach, refuses a moved epoch with a typed
 The ``serve_refresh`` benchmark replays a partitioned ingest against the
 fleet and shows stale-model Q-error degrading under drift and recovering
 after refresh; ``docs/serving.md`` ("Live refresh & epochs") walks the loop.
+
+Load testing and chaos drills
+-----------------------------
+Every harness above is closed-loop: the next query waits for the previous
+batch.  :mod:`repro.serve.loadgen` is the open-loop complement — arrivals at
+a configured *offered* rate regardless of completion rate, which is the only
+way overload is observable.  Poisson, diurnal and flash-crowd arrival
+processes (all averaging exactly the requested rate) feed
+:func:`run_open_loop`, which paces an :class:`AsyncFleetClient` against a
+real clock — or replays a recorded :class:`ArrivalTrace` deterministically
+under a frozen :class:`VirtualClock` (trace files are byte-stable for a
+given seed).  :func:`sweep_offered_load` produces the
+latency-vs-offered-load curve and :func:`locate_knee` the offered rate where
+e2e p95 leaves the SLO; chaos scenarios (:class:`SlowReplica`,
+:class:`CacheWipe`, :func:`run_kill_worker_drill`) inject faults mid-run,
+and :func:`assert_degraded_not_collapsed` pins the degradation contract —
+bounded queue growth, typed errors, zero estimate drift on everything that
+completed::
+
+    from repro.serve import (
+        ArrivalTrace, assert_degraded_not_collapsed, run_open_loop,
+        run_fleet_sequential)
+
+    trace = ArrivalTrace.record("poisson", rate_qps=200.0, duration_s=2.0,
+                                seed=7)
+    trace.save("arrivals.json")                    # byte-stable, replayable
+    outcome = run_open_loop(router, workload, ArrivalTrace.load("arrivals.json"))
+    baseline = run_fleet_sequential(registry, workload_expanded, seed=0)
+    assert_degraded_not_collapsed(outcome, baseline=baseline, max_pending=32)
+
+``python -m repro.serve --tables users sessions --arrivals poisson
+--offered-qps 200 --duration-s 2`` is the command-line form (``--arrivals
+trace --trace-file arrivals.json`` replays, ``--scenario slow_replica``
+injects); the ``serve_loadgen`` benchmark sweeps the offered-load ladder
+into ``results/serve_loadgen.{json,txt}`` and ``docs/operations.md`` ("Load
+testing & chaos drills") is the operator's drill book.
 """
 
 from .cache import (
@@ -221,6 +257,24 @@ from .engine import (
     VirtualClock,
     query_rng,
     run_sequential,
+)
+from .loadgen import (
+    ARRIVAL_PROCESSES,
+    SCENARIOS,
+    ArrivalTrace,
+    CacheWipe,
+    ChaosScenario,
+    OpenLoopResult,
+    SlowReplica,
+    assert_degraded_not_collapsed,
+    diurnal_arrivals,
+    flash_arrivals,
+    generate_arrivals,
+    locate_knee,
+    poisson_arrivals,
+    run_kill_worker_drill,
+    run_open_loop,
+    sweep_offered_load,
 )
 from .procfleet import (
     ProcessFleet,
@@ -297,6 +351,22 @@ __all__ = [
     "StreamingRouter",
     "AsyncFleetClient",
     "stream_workload",
+    "ARRIVAL_PROCESSES",
+    "ArrivalTrace",
+    "ChaosScenario",
+    "SlowReplica",
+    "CacheWipe",
+    "SCENARIOS",
+    "OpenLoopResult",
+    "poisson_arrivals",
+    "diurnal_arrivals",
+    "flash_arrivals",
+    "generate_arrivals",
+    "run_open_loop",
+    "sweep_offered_load",
+    "locate_knee",
+    "assert_degraded_not_collapsed",
+    "run_kill_worker_drill",
     "generate_mixed_workload",
     "generate_bursty_workload",
     "load_workload",

@@ -47,6 +47,23 @@ Multi-model usage (a registry of relations behind one router)::
     # micro-batches flush and their results are collected before exit.
     python -m repro.serve --tables users sessions --workers 4 \
         --replicas 4 --log-dir procfleet-logs --num-queries 96
+
+    # Open-loop load generation: offer 200 Poisson arrivals/s for 2 seconds
+    # regardless of completion rate, record the arrival trace for replay,
+    # and shed (typed, counted) whatever overflows the admission bound.
+    python -m repro.serve --tables users sessions --arrivals poisson \
+        --offered-qps 200 --duration-s 2 --save-trace arrivals.json \
+        --max-pending 32 --overflow shed
+
+    # Replay the exact same arrival sequence (byte-stable trace files),
+    # with a chaos scenario injected mid-run: one replica turns slow.
+    python -m repro.serve --tables users sessions --arrivals trace \
+        --trace-file arrivals.json --scenario slow_replica
+
+    # The cross-process chaos drill: SIGKILL a worker mid-stream and verify
+    # the failure surfaces as a typed WorkerError, not a hang.
+    python -m repro.serve --tables users sessions --workers 2 \
+        --scenario kill_worker --num-queries 48
 """
 
 from __future__ import annotations
@@ -71,6 +88,13 @@ from ..query import WorkloadGenerator, true_selectivities
 from ..query.metrics import q_error
 from .cache import canonical_query_key
 from .engine import EstimationEngine, run_sequential
+from .loadgen import (
+    ARRIVAL_PROCESSES,
+    SCENARIOS,
+    ArrivalTrace,
+    run_kill_worker_drill,
+    run_open_loop,
+)
 from .procfleet import ProcessFleet
 from .registry import ModelRegistry
 from .router import FleetRouter, RoutingError, run_fleet_sequential
@@ -182,6 +206,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--min-batch", type=int, default=1, metavar="N",
                         help="lower clamp of the adaptive micro-batch size "
                              "(multi-model mode; must be in [1, batch size])")
+    parser.add_argument("--arrivals", choices=(*ARRIVAL_PROCESSES, "trace"),
+                        default=None,
+                        help="serve open-loop: offer queries at the arrival "
+                             "process's timestamps regardless of completion "
+                             "rate (multi-model mode; 'trace' replays "
+                             "--trace-file)")
+    parser.add_argument("--offered-qps", type=float, default=None,
+                        metavar="QPS",
+                        help="mean offered arrival rate of the generated "
+                             "arrival process (must be positive; requires "
+                             "--arrivals poisson|diurnal|flash)")
+    parser.add_argument("--duration-s", type=float, default=None, metavar="S",
+                        help="length of the generated arrival window in "
+                             "seconds (default 2; requires --arrivals "
+                             "poisson|diurnal|flash)")
+    parser.add_argument("--trace-file", metavar="PATH",
+                        help="arrival trace to replay (requires "
+                             "--arrivals trace)")
+    parser.add_argument("--save-trace", metavar="PATH",
+                        help="record the generated arrival sequence to a "
+                             "replayable JSON trace file (byte-stable for a "
+                             "given seed)")
+    parser.add_argument("--scenario", choices=(*sorted(SCENARIOS),
+                                               "kill_worker"),
+                        default=None,
+                        help="chaos scenario to inject mid-run: slow_replica/"
+                             "cache_wipe need an open-loop run (--arrivals), "
+                             "kill_worker needs the process fleet (--workers)")
     parser.add_argument("--workers", type=int, default=0, metavar="N",
                         help="serve from N OS worker processes instead of "
                              "in-process engines (multi-model mode; estimates "
@@ -365,6 +417,8 @@ def _serve_multi(arguments) -> int:
             print(f"note: {repeats} repeated queries will be answered from "
                   "the result cache (each repeat serves its first dispatched "
                   "occurrence's estimate instead of re-sampling)")
+    if arguments.arrivals:
+        return _serve_open_loop(arguments, registry, router, queries)
     try:
         if arguments.stream:
             report = stream_workload(router, queries)
@@ -484,6 +538,93 @@ def _serve_multi(arguments) -> int:
     return 0
 
 
+def _serve_open_loop(arguments, registry, router, queries) -> int:
+    """Offer a prepared workload open-loop, optionally under a chaos scenario."""
+    if arguments.arrivals == "trace":
+        try:
+            trace = ArrivalTrace.load(arguments.trace_file)
+        except (OSError, ValueError) as error:
+            raise SystemExit(str(error)) from None
+        print(f"Replaying {len(trace)} arrivals from {arguments.trace_file} "
+              f"({trace.process}, recorded at {trace.rate_qps:g} qps over "
+              f"{trace.duration_s:g} s, seed {trace.seed})")
+    else:
+        duration_s = arguments.duration_s if arguments.duration_s is not None \
+            else 2.0
+        trace = ArrivalTrace.record(arguments.arrivals,
+                                    rate_qps=arguments.offered_qps,
+                                    duration_s=duration_s,
+                                    seed=arguments.seed)
+        print(f"Generated {len(trace)} {arguments.arrivals} arrivals "
+              f"({arguments.offered_qps:g} qps offered over {duration_s:g} s, "
+              f"realised {trace.offered_qps:.1f} qps)")
+        if arguments.save_trace:
+            trace.save(arguments.save_trace)
+            print(f"Arrival trace written to {arguments.save_trace}")
+
+    scenario = None
+    if arguments.scenario:
+        try:
+            route = router.resolve_route(queries[0])
+        except RoutingError as error:
+            raise SystemExit(f"unroutable query: {error}") from None
+        scenario = SCENARIOS[arguments.scenario](route)
+        print(f"Chaos scenario armed: {arguments.scenario}")
+
+    try:
+        outcome = run_open_loop(router, queries, trace, scenario=scenario)
+    except RoutingError as error:
+        raise SystemExit(f"unroutable query: {error}") from None
+    stats = outcome.report.stats
+
+    print(f"\nOffered {outcome.submitted + outcome.shed} arrivals at "
+          f"{outcome.offered_qps:.1f} qps: {outcome.completed} completed "
+          f"({outcome.achieved_qps:.1f} qps achieved), {outcome.shed} shed "
+          f"at the admission limit")
+    print(f"  peak pending     {outcome.peak_pending}"
+          + (f" (bound {arguments.max_pending})"
+             if arguments.max_pending else ""))
+    if stats.queue_wait_ms is not None:
+        print(f"  queue wait p50/p95/p99:       "
+              f"{stats.queue_wait_ms['p50']:.1f} / "
+              f"{stats.queue_wait_ms['p95']:.1f} / "
+              f"{stats.queue_wait_ms['p99']:.1f} ms")
+    if stats.e2e_ms is not None:
+        print(f"  end-to-end p50/p95/p99:       "
+              f"{stats.e2e_ms['p50']:.1f} / {stats.e2e_ms['p95']:.1f} / "
+              f"{stats.e2e_ms['p99']:.1f} ms")
+    for event in outcome.events:
+        print(f"  chaos: {event}")
+
+    document = {"open_loop": outcome.as_dict(), "fleet": stats.as_dict(),
+                "estimates": [result.selectivity
+                              for result in outcome.report.results]}
+
+    if arguments.compare_sequential:
+        expanded = [queries[i % len(queries)]
+                    for i in range(len(trace))]
+        baseline = run_fleet_sequential(registry, expanded,
+                                        num_samples=arguments.samples,
+                                        seed=arguments.seed)
+        compared = [(result.selectivity,
+                     baseline.results[result.index].selectivity)
+                    for result in outcome.report.results
+                    if not result.from_result_cache]
+        drift = max((abs(open_loop - sequential)
+                     for open_loop, sequential in compared), default=0.0)
+        print(f"\nSequential fleet baseline on the expanded arrival "
+              f"workload: max estimate drift {drift:.2e} over "
+              f"{len(compared)} completed queries — open-loop pacing, "
+              "shedding and chaos never move a completed number")
+        document["max_estimate_drift"] = drift
+
+    if arguments.json:
+        with open(arguments.json, "w") as handle:
+            json.dump(document, handle, indent=1)
+        print(f"\nReport written to {arguments.json}")
+    return 0
+
+
 def _serve_procfleet(arguments, registry, queries) -> int:
     """Serve a prepared mixed workload from a cross-process fleet."""
     fleet = ProcessFleet(registry, workers=arguments.workers,
@@ -498,6 +639,29 @@ def _serve_procfleet(arguments, registry, queries) -> int:
         hosted = ", ".join(f"{route}/{replica}" for route, replica in info.keys)
         log_note = f" -> {info.log_path}" if info.log_path else ""
         print(f"Worker {info.worker_id} (pid {info.pid}): {hosted}{log_note}")
+
+    if arguments.scenario == "kill_worker":
+        try:
+            drill = run_kill_worker_drill(fleet, queries)
+        finally:
+            fleet.close()
+        print(f"\nkill_worker drill: worker {drill['killed_worker']} "
+              f"(pid {drill['killed_pid']}) SIGKILLed after "
+              f"{drill['kill_after']} of {drill['submitted']} submissions")
+        if drill["typed_error"]:
+            print(f"  surfaced as {drill['error_type']} (worker "
+                  f"{drill['error_worker_id']}, exit code "
+                  f"{drill['error_exit_code']}) in {drill['wall_s']:.2f} s — "
+                  "degraded, not collapsed")
+        else:
+            print("  WARNING: no typed WorkerError surfaced — the batches "
+                  "may all have missed the dead worker; rerun with more "
+                  "queries")
+        if arguments.json:
+            with open(arguments.json, "w") as handle:
+                json.dump({"kill_worker_drill": drill}, handle, indent=1)
+            print(f"\nReport written to {arguments.json}")
+        return 0 if drill["typed_error"] else 1
 
     def _drain_on_sigterm(signum, frame):
         # SystemExit unwinds through the ``with fleet:`` block below, whose
@@ -610,6 +774,12 @@ def main(argv: list[str] | None = None) -> int:
             ("--min-batch", arguments.min_batch != 1),
             ("--workers", arguments.workers != 0),
             ("--log-dir", arguments.log_dir is not None),
+            ("--arrivals", arguments.arrivals is not None),
+            ("--offered-qps", arguments.offered_qps is not None),
+            ("--duration-s", arguments.duration_s is not None),
+            ("--trace-file", arguments.trace_file is not None),
+            ("--save-trace", arguments.save_trace is not None),
+            ("--scenario", arguments.scenario is not None),
         ) if used]
         if fleet_flags:
             raise SystemExit(f"{', '.join(fleet_flags)} require(s) --tables "
@@ -626,12 +796,14 @@ def main(argv: list[str] | None = None) -> int:
             ("--result-cache", arguments.result_cache),
             ("--max-pending", arguments.max_pending != 0),
             ("--overflow", arguments.overflow != "block"),
+            ("--arrivals", arguments.arrivals is not None),
         ) if used]
         if unsupported:
             raise SystemExit(
                 f"{', '.join(unsupported)} and --workers are mutually "
                 "exclusive: the process fleet serves fixed micro-batches "
-                "without admission control, result caching or streaming")
+                "without admission control, result caching, streaming or "
+                "open-loop pacing")
     if arguments.replicas < 1:
         raise SystemExit("--replicas must be at least 1")
     if arguments.max_pending < 0:
@@ -664,6 +836,51 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit("--min-batch does nothing without --adaptive: only "
                          "the adaptive controller moves the batch size "
                          "(add --adaptive)")
+    if arguments.arrivals is not None and arguments.stream:
+        raise SystemExit("--arrivals and --stream are mutually exclusive: "
+                         "open-loop pacing already streams through the "
+                         "asyncio client")
+    if arguments.offered_qps is not None and arguments.offered_qps <= 0:
+        raise SystemExit(f"--offered-qps must be positive, got "
+                         f"{arguments.offered_qps:g}")
+    if arguments.duration_s is not None and arguments.duration_s <= 0:
+        raise SystemExit(f"--duration-s must be positive, got "
+                         f"{arguments.duration_s:g}")
+    generated = arguments.arrivals is not None and arguments.arrivals != "trace"
+    if generated and arguments.offered_qps is None:
+        raise SystemExit(f"--arrivals {arguments.arrivals} requires "
+                         "--offered-qps: an open-loop run needs its offered "
+                         "rate")
+    if arguments.arrivals == "trace" and arguments.trace_file is None:
+        raise SystemExit("--arrivals trace requires --trace-file: nothing to "
+                         "replay otherwise")
+    if arguments.arrivals == "trace":
+        fixed = [flag for flag, used in (
+            ("--offered-qps", arguments.offered_qps is not None),
+            ("--duration-s", arguments.duration_s is not None),
+            ("--save-trace", arguments.save_trace is not None),
+        ) if used]
+        if fixed:
+            raise SystemExit(f"{', '.join(fixed)} and --arrivals trace are "
+                             "mutually exclusive: a replayed trace fixes the "
+                             "arrival sequence")
+    for flag, used in (("--offered-qps", arguments.offered_qps is not None),
+                       ("--duration-s", arguments.duration_s is not None),
+                       ("--save-trace", arguments.save_trace is not None)):
+        if used and not generated:
+            raise SystemExit(f"{flag} requires --arrivals "
+                             "poisson|diurnal|flash (a generated arrival "
+                             "process)")
+    if arguments.trace_file is not None and arguments.arrivals != "trace":
+        raise SystemExit("--trace-file requires --arrivals trace")
+    if arguments.scenario == "kill_worker":
+        if not arguments.workers:
+            raise SystemExit("--scenario kill_worker requires --workers: the "
+                             "drill kills an OS worker process")
+    elif arguments.scenario is not None and arguments.arrivals is None:
+        raise SystemExit(f"--scenario {arguments.scenario} requires "
+                         "--arrivals: chaos is injected into an open-loop "
+                         "run")
     if arguments.tables:
         return _serve_multi(arguments)
     return _serve_single(arguments)

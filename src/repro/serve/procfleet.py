@@ -589,14 +589,34 @@ class ProcessFleet:
         """Queries shipped to workers whose results have not returned yet."""
         return sum(len(entry.items) for entry in self._inflight.values())
 
-    def kill_worker(self, worker_id: int) -> None:
+    def kill_worker(self, worker_id: int) -> WorkerInfo:
         """Hard-kill one worker (SIGKILL) — a failure-injection drill hook.
 
         The next :meth:`collect`/:meth:`run` touching the dead worker raises
         :class:`WorkerError` within ``recv_timeout_s``; ``docs/operations.md``
-        uses this to demonstrate crash handling.
+        and the :func:`repro.serve.loadgen.run_kill_worker_drill` chaos drill
+        use this to demonstrate crash handling.
+
+        Args:
+            worker_id: Which worker to kill, ``0 <= worker_id < workers``.
+
+        Returns:
+            The killed worker's :class:`WorkerInfo` snapshot (id, pid, log
+            path, hosted engine keys) — what the drill report records.
+
+        Raises:
+            ValueError: ``worker_id`` names no worker of this fleet.
+            RuntimeError: The fleet is closed (nothing left to kill).
         """
+        if self._closed:
+            raise RuntimeError("the fleet is closed; no workers to kill")
+        if worker_id not in self._handles:
+            raise ValueError(
+                f"no worker {worker_id!r} in this fleet (workers: "
+                f"{sorted(self._handles)})")
+        info = self._infos[worker_id]
         self._handles[worker_id].process.kill()
+        return info
 
     def __enter__(self) -> "ProcessFleet":
         """Context-manager entry: the fleet itself."""
@@ -658,6 +678,10 @@ class ProcessFleet:
     def _worker_failure(self, worker_id: int, reason: str) -> WorkerError:
         """Build the typed error for one failed worker."""
         handle = self._handles[worker_id]
+        # A freshly killed child may not be reapable the instant its pipe
+        # EOFs; give it a bounded moment so the typed error carries the real
+        # exit code (e.g. -9 for SIGKILL) instead of a racy None.
+        handle.process.join(timeout=1.0)
         return WorkerError(worker_id, reason,
                            exit_code=handle.process.exitcode,
                            log_path=handle.log_path)

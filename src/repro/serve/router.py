@@ -604,6 +604,10 @@ class ReplicaGroup:
         #: under the same budget than per-replica slivers.
         self.cache = cache
         self.shed = 0
+        #: High-water mark of :attr:`pending` over the current scope — the
+        #: load generator's bounded-queue-growth evidence: under overload
+        #: this must plateau at ``max_pending``, never climb past it.
+        self.peak_pending = 0
 
     def __len__(self) -> int:
         return len(self.engines)
@@ -637,6 +641,7 @@ class ReplicaGroup:
             fullest.flush()
         replica = self.replica_of(index)
         self.engines[replica].submit(query, index=index)
+        self.peak_pending = max(self.peak_pending, self.pending)
         return replica
 
     def flush(self) -> None:
@@ -649,6 +654,7 @@ class ReplicaGroup:
         for engine in self.engines:
             engine.reset()
         self.shed = 0
+        self.peak_pending = 0
 
     def reports(self) -> list[EngineReport]:
         """Per-replica reports, in replica order."""
@@ -920,6 +926,42 @@ class FleetRouter:
             return True
         return any(self.registry.flush_after_ms(name) is not None
                    for name in self.registry.names)
+
+    @property
+    def peak_pending(self) -> int:
+        """The highest pending high-water mark across all replica groups.
+
+        The open-loop load generator's bounded-queue-growth evidence: under
+        overload this plateaus at ``max_pending`` (per group) instead of
+        growing with the backlog.  Zero until a group materialises; reset at
+        scope boundaries with the rest of the per-scope counters.
+        """
+        return max((group.peak_pending for group in self._groups.values()),
+                   default=0)
+
+    def wipe_caches(self) -> dict[str, int]:
+        """Drop every cache layer at once — the ``cache_wipe`` chaos drill.
+
+        Clears the fleet-wide result cache and every materialised replica
+        group's shared conditional cache, exactly what a cache-tier restart
+        does to a live fleet.  Epoch stamps are preserved (the data did not
+        move — the memory of it did), counters keep accumulating, and no
+        estimate may change: caches are a latency layer, so the only
+        observable cost is cold-cache latency on the traffic that follows.
+
+        Returns:
+            ``{"result_caches": 0 or 1, "conditional_caches": N}`` — how
+            many stores of each layer were cleared.
+        """
+        wiped = {"result_caches": 0, "conditional_caches": 0}
+        if self._result_cache is not None:
+            self._result_cache.clear()
+            wiped["result_caches"] = 1
+        for group in self._groups.values():
+            if group.cache is not None:
+                group.cache.clear()
+                wiped["conditional_caches"] += 1
+        return wiped
 
     def tick(self, now: float | None = None) -> float | None:
         """Fire every overdue flush deadline; returns the earliest remaining one.

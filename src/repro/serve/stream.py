@@ -437,11 +437,20 @@ class AsyncFleetClient:
         any flush deadline; ``False`` disables it (the caller ticks the
         router itself — what :func:`stream_workload` does to stay
         deterministic under a virtual clock); ``True`` forces it on.
+    clock:
+        The clock :meth:`pace` paces arrivals against.  ``None`` (default)
+        uses the router's own clock, so arrival pacing and flush deadlines
+        read the same timeline; inject a
+        :class:`~repro.serve.engine.VirtualClock` here to replay a recorded
+        arrival trace deterministically under test (a frozen clock makes
+        :meth:`pace` advance virtual time instead of sleeping).
     """
 
     def __init__(self, router: FleetRouter, *,
-                 flush_driver: bool | None = None) -> None:
+                 flush_driver: bool | None = None, clock=None) -> None:
         self.router = router
+        #: The arrival-pacing clock (see :meth:`pace`); callable -> seconds.
+        self.clock = clock if clock is not None else router.clock
         self._futures: dict[int, asyncio.Future] = {}
         #: Every index this client ever submitted: uniqueness is enforced for
         #: the client's whole lifetime, not just while a future is pending —
@@ -610,6 +619,36 @@ class AsyncFleetClient:
         # retry here would also double-count the group's shed tally, since
         # ReplicaGroup.submit counts before raising.)
         return self.submit(query, index=index)
+
+    async def pace(self, until: float) -> None:
+        """Suspend until the client's clock reads at least ``until`` seconds.
+
+        The arrival-pacing primitive of the open-loop load generator
+        (:mod:`repro.serve.loadgen`): a producer replaying an arrival trace
+        paces each submission with ``await client.pace(start + t_i)``.  On a
+        real or hybrid clock this sleeps the remaining wall time (one
+        clock-second is one real second).  On a **frozen**
+        :class:`~repro.serve.engine.VirtualClock` — ``advance()`` with no
+        real-time base — sleeping can never make the deadline arrive, so the
+        clock is advanced to ``until`` directly (after a zero-sleep yield,
+        keeping producer interleaving): trace replay becomes a pure function
+        of the trace, byte-stable run after run.
+
+        A deadline already in the past returns immediately — open-loop
+        pacing never *delays* an overdue arrival, it only spaces out early
+        ones.
+        """
+        frozen = (hasattr(self.clock, "advance")
+                  and getattr(self.clock, "base", None) is None)
+        while True:
+            remaining = until - self.clock()
+            if remaining <= 0:
+                return
+            if frozen:
+                await asyncio.sleep(0)  # yield: interleave like real producers
+                self.clock.advance(remaining)
+            else:
+                await asyncio.sleep(remaining)
 
     # ------------------------------------------------------------------ #
     def _ensure_driver(self, loop: asyncio.AbstractEventLoop) -> None:

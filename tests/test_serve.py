@@ -556,3 +556,158 @@ class TestServeCLI:
             stream = json.load(handle)
         assert stream["estimates"] == batch["estimates"]
         assert stream["routes"] == batch["routes"]
+
+
+class TestOpenLoopCLI:
+    """CLI surface of the open-loop load generator: the full fail-fast
+    validation matrix plus the generate -> save-trace -> replay-with-chaos
+    round trip and the kill_worker drill."""
+
+    def test_open_loop_flags_require_tables(self):
+        for flags in (["--arrivals", "poisson"], ["--offered-qps", "10"],
+                      ["--duration-s", "1"], ["--trace-file", "t.json"],
+                      ["--save-trace", "t.json"],
+                      ["--scenario", "cache_wipe"]):
+            with pytest.raises(SystemExit, match=r"require\(s\) --tables"):
+                serve_main(flags)
+
+    def test_open_loop_flag_combinations_validated(self):
+        base = ["--tables", "users"]
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            serve_main(base + ["--workers", "2", "--arrivals", "poisson",
+                               "--offered-qps", "10"])
+        with pytest.raises(SystemExit,
+                           match="--arrivals and --stream are mutually"):
+            serve_main(base + ["--stream", "--arrivals", "poisson",
+                               "--offered-qps", "10"])
+        with pytest.raises(SystemExit,
+                           match="--offered-qps must be positive, got 0"):
+            serve_main(base + ["--arrivals", "poisson",
+                               "--offered-qps", "0"])
+        with pytest.raises(SystemExit,
+                           match="--offered-qps must be positive, got -5"):
+            serve_main(base + ["--arrivals", "poisson",
+                               "--offered-qps", "-5"])
+        with pytest.raises(SystemExit,
+                           match="--duration-s must be positive, got -1"):
+            serve_main(base + ["--arrivals", "poisson",
+                               "--offered-qps", "10", "--duration-s", "-1"])
+        with pytest.raises(SystemExit,
+                           match="--arrivals poisson requires --offered-qps"):
+            serve_main(base + ["--arrivals", "poisson"])
+        with pytest.raises(SystemExit,
+                           match="--arrivals trace requires --trace-file"):
+            serve_main(base + ["--arrivals", "trace"])
+        # A replayed trace fixes the arrival sequence: the generator's
+        # knobs must be refused, not silently ignored.
+        with pytest.raises(SystemExit, match="replayed trace fixes"):
+            serve_main(base + ["--arrivals", "trace", "--trace-file",
+                               "t.json", "--offered-qps", "10"])
+        with pytest.raises(SystemExit, match="replayed trace fixes"):
+            serve_main(base + ["--arrivals", "trace", "--trace-file",
+                               "t.json", "--save-trace", "out.json"])
+        with pytest.raises(SystemExit,
+                           match="--offered-qps requires --arrivals"):
+            serve_main(base + ["--offered-qps", "10"])
+        with pytest.raises(SystemExit,
+                           match="--duration-s requires --arrivals"):
+            serve_main(base + ["--duration-s", "1"])
+        with pytest.raises(SystemExit,
+                           match="--save-trace requires --arrivals"):
+            serve_main(base + ["--save-trace", "t.json"])
+        with pytest.raises(SystemExit,
+                           match="--trace-file requires --arrivals trace"):
+            serve_main(base + ["--trace-file", "t.json"])
+        with pytest.raises(SystemExit,
+                           match="kill_worker requires --workers"):
+            serve_main(base + ["--scenario", "kill_worker"])
+        with pytest.raises(SystemExit,
+                           match="--scenario slow_replica requires "
+                                 "--arrivals"):
+            serve_main(base + ["--scenario", "slow_replica"])
+
+    def test_malformed_trace_file_fails_fast(self, tmp_path):
+        """A broken trace is a one-line SystemExit naming the file — after
+        the models are built (the load sits on the serving path), but
+        before any query is offered."""
+        bad = os.path.join(tmp_path, "bad.json")
+        with open(bad, "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            serve_main(["--tables", "users", "--rows", "300",
+                        "--num-queries", "4", "--epochs", "1",
+                        "--samples", "40", "--seed", "5",
+                        "--arrivals", "trace", "--trace-file", bad])
+        missing = os.path.join(tmp_path, "nowhere.json")
+        with pytest.raises(SystemExit, match="nowhere.json"):
+            serve_main(["--tables", "users", "--rows", "300",
+                        "--num-queries", "4", "--epochs", "1",
+                        "--samples", "40", "--seed", "5",
+                        "--arrivals", "trace", "--trace-file", missing])
+
+    def test_generate_save_trace_then_replay_with_chaos(self, tmp_path,
+                                                        capsys):
+        """Generate Poisson arrivals, save the trace, then replay it with a
+        slow_replica scenario: same estimates both runs, drift 0 versus the
+        sequential baseline, chaos event reported."""
+        trace_path = os.path.join(tmp_path, "arrivals.json")
+        generate_path = os.path.join(tmp_path, "generate.json")
+        replay_path = os.path.join(tmp_path, "replay.json")
+        base = ["--tables", "users", "--rows", "300", "--num-queries", "6",
+                "--epochs", "1", "--samples", "40", "--batch-size", "4",
+                "--seed", "5"]
+        exit_code = serve_main(base + [
+            "--arrivals", "poisson", "--offered-qps", "200",
+            "--duration-s", "0.2", "--save-trace", trace_path,
+            "--json", generate_path,
+        ])
+        assert exit_code == 0
+        assert "Arrival trace written" in capsys.readouterr().out
+        with open(generate_path) as handle:
+            generated = json.load(handle)
+        open_loop = generated["open_loop"]
+        assert open_loop["submitted"] + open_loop["shed"] >= 1
+        assert open_loop["completed"] == open_loop["submitted"]
+        assert open_loop["shed"] == 0
+        assert open_loop["events"] == []
+
+        replay_code = serve_main(base + [
+            "--arrivals", "trace", "--trace-file", trace_path,
+            "--scenario", "slow_replica", "--compare-sequential",
+            "--json", replay_path,
+        ])
+        assert replay_code == 0
+        output = capsys.readouterr().out
+        assert "Chaos scenario armed: slow_replica" in output
+        with open(replay_path) as handle:
+            replay = json.load(handle)
+        # Chaos and pacing never move a completed estimate: the replay
+        # matches both the paced generate run and the sequential baseline.
+        assert replay["estimates"] == generated["estimates"]
+        assert replay["max_estimate_drift"] <= 1e-9
+        assert replay["open_loop"]["submitted"] == open_loop["submitted"]
+        assert any("slow_replica" in event
+                   for event in replay["open_loop"]["events"])
+
+    def test_kill_worker_drill_end_to_end(self, tmp_path, capsys):
+        report_path = os.path.join(tmp_path, "drill.json")
+        exit_code = serve_main([
+            "--tables", "users", "--rows", "300", "--num-queries", "12",
+            "--epochs", "1", "--samples", "40", "--batch-size", "4",
+            "--seed", "5", "--workers", "2", "--scenario", "kill_worker",
+            "--json", report_path,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "kill_worker drill" in output
+        assert "degraded, not collapsed" in output
+        with open(report_path) as handle:
+            drill = json.load(handle)["kill_worker_drill"]
+        assert drill["typed_error"]
+        assert drill["error_type"] == "WorkerError"
+        assert drill["error_exit_code"] == -9
+        # Submission keeps going after the kill (open loop), but a filled
+        # micro-batch may surface the typed error mid-submit — anywhere
+        # from the kill point to the full workload is a pass.
+        assert drill["kill_after"] == 6
+        assert 6 <= drill["submitted"] <= 12

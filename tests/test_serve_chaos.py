@@ -1,0 +1,154 @@
+"""Chaos regression suite for the cross-process fleet (satellite of loadgen).
+
+The in-process chaos scenarios live with the load generator in
+``tests/test_serve_openloop.py``; this file owns the one fault that needs
+real OS processes — ``ProcessFleet.kill_worker`` mid-stream — and pins down
+its whole contract: the kill surfaces as a typed
+:class:`~repro.serve.WorkerError` naming the dead worker and its signal exit
+code within ``recv_timeout_s`` (never an indefinite hang: every test runs
+under a pytest-timeout ceiling), ``close()`` still reaps every child, and no
+``procfleet-worker`` process outlives its fleet.  CI points
+``REPRO_PROCFLEET_LOG_DIR`` at a directory it uploads on failure, so a red
+run ships the worker logs with it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.core import NaruConfig
+from repro.data import make_users
+from repro.serve import (
+    ModelRegistry,
+    ProcessFleet,
+    WorkerError,
+    generate_mixed_workload,
+    run_kill_worker_drill,
+)
+
+_CONFIG = NaruConfig(epochs=1, hidden_sizes=(8, 8), batch_size=64,
+                     progressive_samples=40, seed=0)
+_SAMPLES = 40
+_SEED = 3
+
+#: CI sets this to a directory it uploads when the job fails, so worker logs
+#: travel with the red run; locally it stays unset and logging stays off.
+_LOG_DIR = os.environ.get("REPRO_PROCFLEET_LOG_DIR")
+
+
+def _no_fleet_children() -> bool:
+    """True when no procfleet worker processes are alive under this parent."""
+    return not [process for process in mp.active_children()
+                if process.name.startswith("procfleet-worker")]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    fitted = ModelRegistry(default_config=_CONFIG)
+    fitted.register_table(make_users(num_users=80, seed=11))
+    fitted.fit_all()
+    return fitted
+
+
+@pytest.fixture(scope="module")
+def workload(registry):
+    return generate_mixed_workload(
+        {name: registry.relation(name) for name in registry.names}, 12,
+        min_filters=1, max_filters=2, seed=9)
+
+
+def _fleet(registry, **overrides):
+    options = dict(workers=2, batch_size=4, num_samples=_SAMPLES, seed=_SEED,
+                   recv_timeout_s=5.0, log_dir=_LOG_DIR)
+    options.update(overrides)
+    return ProcessFleet(registry, **options)
+
+
+@pytest.mark.timeout(60)
+def test_kill_worker_mid_stream_raises_typed_error_without_hang(registry,
+                                                                workload):
+    """The core drill, inlined: submit half the stream, SIGKILL a worker,
+    keep submitting (arrivals don't stop because a backend died), collect.
+    The failure must surface as WorkerError naming worker 0 and the SIGKILL
+    exit code — within recv_timeout_s, never a hang — and close() must still
+    reap every child."""
+    fleet = _fleet(registry)
+    try:
+        half = len(workload) // 2
+        for query in workload[:half]:
+            fleet.submit(query)
+        info = fleet.kill_worker(0)
+        assert info.worker_id == 0
+        assert info.pid is not None
+        with pytest.raises(WorkerError) as caught:
+            for query in workload[half:]:
+                fleet.submit(query)
+            fleet.flush()
+            fleet.collect()
+        assert caught.value.worker_id == 0
+        assert caught.value.exit_code == -9  # SIGKILL, reported as-is
+        assert "worker 0" in str(caught.value)
+    finally:
+        fleet.close()
+    assert fleet.closed
+    assert _no_fleet_children()
+
+
+@pytest.mark.timeout(60)
+def test_run_kill_worker_drill_summarises_the_contract(registry, workload):
+    """The packaged drill the benchmark and CLI run: same fault, summary
+    dict out — typed error, dead worker named, wall time bounded by the
+    recv timeout rather than an infinite collect()."""
+    fleet = _fleet(registry)
+    try:
+        drill = run_kill_worker_drill(fleet, workload, worker_id=1)
+    finally:
+        fleet.close()
+    assert drill["typed_error"]
+    assert drill["error_type"] == "WorkerError"
+    assert drill["error_worker_id"] == 1
+    assert drill["error_exit_code"] == -9
+    assert drill["killed_worker"] == 1
+    assert drill["killed_pid"] is not None
+    assert drill["kill_after"] == len(workload) // 2
+    # Open loop: submission keeps going after the kill, but a filled
+    # micro-batch can surface the typed error mid-submit — anywhere from
+    # the kill point to the full workload counts.
+    assert len(workload) // 2 <= drill["submitted"] <= len(workload)
+    assert drill["wall_s"] < 30.0  # typed failure, not a hang
+    assert _no_fleet_children()
+
+
+@pytest.mark.timeout(60)
+def test_kill_worker_validates_its_target(registry, workload):
+    fleet = _fleet(registry, workers=2)
+    try:
+        with pytest.raises(ValueError, match=r"no worker 7.*\[0, 1\]"):
+            fleet.kill_worker(7)
+        # A bad target is a no-op: the fleet still serves.
+        report = fleet.run(workload)
+        assert report.stats.num_queries == len(workload)
+    finally:
+        fleet.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        fleet.kill_worker(0)
+    assert _no_fleet_children()
+
+
+@pytest.mark.timeout(60)
+def test_surviving_workers_are_reaped_after_kill(registry, workload):
+    """A kill drill must not leak the *other* workers: after the typed error
+    and close(), zero procfleet children remain — the leak check the CI
+    chaos step runs on every execution, not only on success."""
+    fleet = _fleet(registry, workers=3)
+    try:
+        drill = run_kill_worker_drill(fleet, workload, worker_id=0,
+                                      kill_after=2)
+        assert drill["typed_error"]
+    finally:
+        fleet.close()
+    assert fleet.closed
+    assert _no_fleet_children()
