@@ -1,0 +1,80 @@
+"""Estimator ensemble over a widened query language — beyond the paper.
+
+Not a reproduction of a paper table: this benchmark guards the query-language
+extension (DNF disjunctions, ``LIKE 'x%'`` prefixes) and the capability-based
+ensemble that serves it.  A mixed-shape workload is routed across per-relation
+ensembles — Naru primaries answering prefixes and small disjunctions by
+inclusion–exclusion, sampling fallbacks catching the many-branch disjunctions
+the primary refuses — and three claims are asserted exactly:
+
+* routing matches the capability matrix (the fallback serves exactly the
+  disjunctions whose branch count exceeds ``max_dnf_branches``);
+* the routed fleet and the sequential per-query pass agree bit-for-bit
+  (max drift exactly 0.0), so the ensemble perturbs nothing the paper
+  measures for conjunctive traffic;
+* inclusion–exclusion over exact per-term selectivities reproduces the exact
+  union selectivity to float round-off (gap ≤ 1e-9).
+
+Run with ``REPRO_BENCH_SMOKE=1`` the configuration shrinks to finish in
+seconds; the JSON report is written to ``results/serve_ensemble.json`` either
+way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from conftest import save_report
+
+from repro.bench import serve_ensemble
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+@pytest.mark.slow
+def test_serve_ensemble(bench_scale, results_dir):
+    if _SMOKE:
+        scale = dataclasses.replace(bench_scale, serve_ens_rows=1_200,
+                                    serve_ens_users=150,
+                                    serve_ens_queries=32,
+                                    serve_ens_samples=200,
+                                    serve_ens_epochs=2,
+                                    serve_ens_batch_size=8,
+                                    serve_ens_fallback_sample=512,
+                                    serve_ens_oracle_rows=120,
+                                    serve_ens_oracle_queries=8)
+    else:
+        scale = bench_scale
+    result = serve_ensemble(scale=scale)
+    save_report(results_dir, "serve_ensemble", result["text"])
+    with open(os.path.join(results_dir, "serve_ensemble.json"), "w") as handle:
+        json.dump({key: result[key] for key in
+                   ("shape_mix", "max_estimate_drift", "ie_oracle_gap",
+                    "ie_oracle_queries", "fallback_served", "overflow_dnf",
+                    "max_dnf_branches", "accuracy_by_estimator", "estimators",
+                    "q_error_median", "q_error_p95", "num_queries",
+                    "routes")},
+                  handle, indent=1)
+
+    # The workload genuinely exercises every shape and both ensemble roles.
+    assert set(result["shape_mix"]) == {"conjunctive", "disjunctive", "prefix"}
+    assert result["overflow_dnf"] > 0
+    assert result["fallback_served"] == result["overflow_dnf"]
+
+    # Determinism: routing through the ensemble is bit-identical to the
+    # sequential per-query pass — fallbacks perturb nothing.
+    assert result["max_estimate_drift"] == 0.0
+
+    # The inclusion–exclusion expansion is exact when its terms are.
+    assert result["ie_oracle_queries"] > 0
+    assert result["ie_oracle_gap"] <= 1e-9
+
+    # Both ensemble roles report accuracy and latency columns.
+    names = set(result["accuracy_by_estimator"])
+    assert any(name.startswith("Naru-") for name in names)
+    assert any(name.startswith("Sample(") for name in names)
+    assert names == set(result["estimators"])

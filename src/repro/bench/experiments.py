@@ -1579,3 +1579,158 @@ def serve_loadgen(scale: ExperimentScale | None = None) -> dict:
         "num_queries": len(queries),
         "workers": scale.serve_loadgen_workers,
     }
+
+
+def serve_ensemble(scale: ExperimentScale | None = None) -> dict:
+    """Beyond the paper: a widened query language served by estimator ensembles.
+
+    The paper's workload is purely conjunctive.  This benchmark widens it —
+    a ``dnf_fraction`` share of the workload becomes DNF disjunctions
+    (branch counts alternating between 2 and 6) and a ``like_fraction``
+    share becomes ``LIKE 'x%'`` string prefixes — and serves it through
+    per-relation *ensembles*: the Naru primary answers prefixes (one more
+    valid-code mask) and small disjunctions by inclusion–exclusion, while
+    disjunctions above ``max_dnf_branches`` route to a
+    :class:`repro.estimators.SamplingEstimator` fallback registered next to
+    each model.  Three claims are asserted exactly, not statistically:
+
+    * **routing** — every query lands where the capability matrix says it
+      must: conjunctions/prefixes/2-branch DNF on the Naru primary,
+      6-branch DNF on the fallback, nothing unroutable;
+    * **determinism** — the routed fleet and a sequential per-query pass
+      agree bit-for-bit (max drift exactly 0.0), conjunctions included, so
+      registering fallbacks perturbs nothing the paper measures;
+    * **inclusion–exclusion identity** — on a small relation where the
+      per-term estimates are *exact*, the expansion reproduces the true
+      union selectivity to float round-off (``ie_oracle_gap <= 1e-9``),
+      checking the expansion itself with no estimation noise on top.
+
+    The reported table is the per-estimator ensemble breakdown: queries
+    served, median/p95 q-error, and p95 end-to-end latency for the Naru
+    primaries and the sampling fallbacks side by side.
+    """
+    from ..data import make_sessions, make_users
+    from ..query import true_selectivities
+    from ..query.predicates import DNFQuery
+    from ..query.shapes import QueryShape, query_shape
+    from ..serve import (
+        FleetRouter,
+        ModelRegistry,
+        generate_shape_workload,
+        run_fleet_sequential,
+    )
+
+    scale = scale or active_scale()
+    config = NaruConfig(epochs=scale.serve_ens_epochs, hidden_sizes=(64, 64),
+                        batch_size=256,
+                        progressive_samples=scale.serve_ens_samples, seed=0)
+    registry = ModelRegistry(default_config=config)
+    users = make_users(scale.serve_ens_users)
+    sessions = make_sessions(scale.serve_ens_rows,
+                             num_users=scale.serve_ens_users)
+    for table in (users, sessions):
+        registry.register_table(table, fallback=SamplingEstimator(
+            table, sample_size=scale.serve_ens_fallback_sample, seed=0))
+    registry.fit_all()
+
+    queries = generate_shape_workload(
+        {name: registry.relation(name) for name in registry.names},
+        scale.serve_ens_queries, dnf_fraction=scale.serve_ens_dnf_fraction,
+        like_fraction=scale.serve_ens_like_fraction, dnf_branches=(2, 6),
+        seed=0)
+    shape_mix = {}
+    for query in queries:
+        shape = query_shape(query).value
+        shape_mix[shape] = shape_mix.get(shape, 0) + 1
+
+    router = FleetRouter(registry, batch_size=scale.serve_ens_batch_size,
+                         num_samples=scale.serve_ens_samples, seed=0)
+    report = router.run(queries)
+    sequential = run_fleet_sequential(registry, queries,
+                                      num_samples=scale.serve_ens_samples,
+                                      seed=0)
+    drift = float(np.max(np.abs(report.selectivities -
+                                sequential.selectivities)))
+
+    # Routing audit against the capability matrix: the fallback serves
+    # exactly the disjunctions whose branch count exceeds the Naru primary's
+    # inclusion–exclusion bound, and nothing else.
+    max_branches = registry.default_config.max_dnf_branches
+    overflow = {index for index, query in enumerate(queries)
+                if isinstance(query, DNFQuery)
+                and len(query.branches) > max_branches}
+    fallback_served = {result.index for result in report.results
+                      if result.estimator.startswith("Sample(")}
+    if fallback_served != overflow:
+        raise AssertionError(
+            f"fallback routing mismatch: expected indices {sorted(overflow)}, "
+            f"served {sorted(fallback_served)}")
+
+    # Per-estimator accuracy (exact truths from the executor, which unions
+    # branch masks for DNF and masks prefixes like any comparison).
+    truths: dict[int, float] = {}
+    errors = []
+    for result in report.results:
+        relation = registry.relation(result.route)
+        truth = true_selectivities(relation, [result.query])[0]
+        truths[result.index] = float(truth * relation.num_rows)
+        errors.append(q_error(result.cardinality, truths[result.index]))
+    accuracy = report.accuracy_by_estimator(truths)
+    latency = report.stats.estimators or {}
+
+    # Inclusion–exclusion oracle identity: with exact per-term estimates the
+    # expansion must reproduce the exact union selectivity to round-off.
+    oracle_table = make_users(scale.serve_ens_oracle_rows)
+    oracle_queries = [
+        query for query in generate_shape_workload(
+            {"users": oracle_table}, scale.serve_ens_oracle_queries,
+            dnf_fraction=1.0, like_fraction=0.0, dnf_branches=(2, 3),
+            min_filters=1, max_filters=2, seed=1)
+        if isinstance(query, DNFQuery)]
+    probe = SamplingEstimator(oracle_table, fraction=1.0, seed=0)
+    ie_oracle_gap = 0.0
+    for query in oracle_queries:
+        exact_union = float(true_selectivities(oracle_table, [query])[0])
+        expanded = probe._inclusion_exclusion(
+            query, lambda term: float(true_selectivities(oracle_table,
+                                                         [term])[0]))
+        ie_oracle_gap = max(ie_oracle_gap, abs(expanded - exact_union))
+
+    rows = []
+    for name in sorted(set(accuracy) | set(latency)):
+        acc = accuracy.get(name, {})
+        lat = latency.get(name, {})
+        e2e = lat.get("e2e_ms") or {}
+        rows.append({
+            "estimator": name,
+            "queries": acc.get("num_queries", lat.get("num_queries", 0)),
+            "median_qerror": acc.get("median_qerror", float("nan")),
+            "p95_qerror": acc.get("p95_qerror", float("nan")),
+            "e2e_p95_ms": e2e.get("p95", float("nan")),
+        })
+    mix_note = ", ".join(f"{count} {shape}"
+                         for shape, count in sorted(shape_mix.items()))
+    text = format_series(
+        rows, ["estimator", "queries", "median_qerror", "p95_qerror",
+               "e2e_p95_ms"],
+        f"Estimator ensemble over a widened workload ({mix_note}; "
+        f"max drift {drift:.1e}, I-E oracle gap {ie_oracle_gap:.1e})")
+    return {
+        "text": text,
+        "shape_mix": shape_mix,
+        "max_estimate_drift": drift,
+        "ie_oracle_gap": ie_oracle_gap,
+        "ie_oracle_queries": len(oracle_queries),
+        "fallback_served": len(fallback_served),
+        "overflow_dnf": len(overflow),
+        "max_dnf_branches": max_branches,
+        "accuracy_by_estimator": accuracy,
+        "estimators": latency,
+        "q_error_median": float(np.median(errors)),
+        "q_error_p95": float(np.quantile(errors, 0.95)),
+        "fleet": report.stats.as_dict(),
+        "sequential": sequential.stats.as_dict(),
+        "num_queries": len(queries),
+        "estimates": [result.selectivity for result in report.results],
+        "routes": [result.route for result in report.results],
+    }

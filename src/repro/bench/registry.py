@@ -54,6 +54,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
                       "curve, SLO knee, and chaos drills asserted "
                       "degraded-not-collapsed",
                       experiments.serve_loadgen),
+    "serve_ensemble": ("Per-query estimator ensemble: DNF/LIKE workload "
+                       "routed across Naru primaries and sampling fallbacks "
+                       "by capability",
+                       experiments.serve_ensemble),
 }
 
 

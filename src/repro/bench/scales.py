@@ -143,6 +143,23 @@ class ExperimentScale:
     #: lowest offered rates meet it, tight enough that overload misses it.
     serve_loadgen_slo_multiplier: float = 4.0
     serve_loadgen_workers: int = 2
+    # Estimator-ensemble experiment (serve_ensemble): a widened workload —
+    # DNF disjunctions and LIKE prefixes alongside plain conjunctions —
+    # served by per-relation ensembles: Naru primaries answer small
+    # disjunctions by inclusion–exclusion while many-branch disjunctions
+    # route to a sampling fallback, with per-estimator accuracy/latency
+    # columns and an exact inclusion–exclusion oracle identity check.
+    serve_ens_rows: int = 2_400
+    serve_ens_users: int = 300
+    serve_ens_queries: int = 64
+    serve_ens_samples: int = 600
+    serve_ens_batch_size: int = 12
+    serve_ens_epochs: int = 5
+    serve_ens_fallback_sample: int = 1_024
+    serve_ens_dnf_fraction: float = 0.25
+    serve_ens_like_fraction: float = 0.25
+    serve_ens_oracle_rows: int = 160
+    serve_ens_oracle_queries: int = 12
 
 
 SMOKE = ExperimentScale(
@@ -246,6 +263,15 @@ PAPER = ExperimentScale(
     serve_loadgen_rate_fractions=(0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0),
     serve_loadgen_slo_multiplier=4.0,
     serve_loadgen_workers=4,
+    serve_ens_rows=8_000,
+    serve_ens_users=800,
+    serve_ens_queries=192,
+    serve_ens_samples=1_200,
+    serve_ens_batch_size=16,
+    serve_ens_epochs=12,
+    serve_ens_fallback_sample=2_048,
+    serve_ens_oracle_rows=240,
+    serve_ens_oracle_queries=24,
 )
 
 

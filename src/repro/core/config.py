@@ -34,6 +34,14 @@ class NaruConfig:
     enumeration_threshold:
         Query regions with at most this many points are answered by exact
         enumeration through the model instead of sampling (§5).
+    max_dnf_branches:
+        Largest disjunction (branch count of a
+        :class:`repro.query.predicates.DNFQuery`) the estimator answers by
+        inclusion–exclusion.  The expansion has ``2^k − 1`` conjunctive
+        terms, so wider disjunctions are declared unservable
+        (:meth:`~repro.core.estimator.NaruEstimator.can_serve` returns
+        ``False``) and the serving layer routes them to a fallback
+        estimator instead.
     column_order:
         Optional explicit autoregressive ordering (list of column positions);
         defaults to the table order, as in the paper.
@@ -50,6 +58,7 @@ class NaruConfig:
     learning_rate: float = 5e-3
     progressive_samples: int = 1000
     enumeration_threshold: int = 2000
+    max_dnf_branches: int = 4
     column_order: tuple[int, ...] | None = None
     seed: int = 0
     extra: dict = field(default_factory=dict)
@@ -65,6 +74,8 @@ class NaruConfig:
             raise ValueError("invalid training parameters")
         if self.progressive_samples < 1:
             raise ValueError("progressive_samples must be positive")
+        if self.max_dnf_branches < 1:
+            raise ValueError("max_dnf_branches must be positive")
 
     def with_overrides(self, **kwargs) -> "NaruConfig":
         """Return a copy of the config with the given fields replaced."""

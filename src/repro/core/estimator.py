@@ -17,7 +17,8 @@ import numpy as np
 
 from ..data.table import Table
 from ..estimators.base import CardinalityEstimator
-from ..query.predicates import Query
+from ..query.predicates import DNFQuery, Query
+from ..query.shapes import QueryShape, query_shape
 from .column_nets import ColumnNetworkModel
 from .config import NaruConfig
 from .made import MADEModel
@@ -123,14 +124,44 @@ class NaruEstimator(CardinalityEstimator):
     # ------------------------------------------------------------------ #
     # Estimation
     # ------------------------------------------------------------------ #
-    def estimate_selectivity(self, query: Query, num_samples: int | None = None,
+    def capabilities(self) -> frozenset[QueryShape]:
+        """Shapes Naru serves: conjunctions, prefixes, bounded disjunctions.
+
+        ``LIKE 'x%'`` reduces to a valid-code mask, so prefixes ride the
+        ordinary conjunctive machinery.  Disjunctions are answered by
+        inclusion–exclusion over conjunctive terms, bounded by
+        ``config.max_dnf_branches`` (see :meth:`can_serve`).
+        """
+        return frozenset({QueryShape.CONJUNCTIVE, QueryShape.PREFIX,
+                          QueryShape.DISJUNCTIVE})
+
+    def can_serve(self, query: "Query | DNFQuery") -> bool:
+        """Shape capability plus the inclusion–exclusion branch budget.
+
+        The expansion of a ``k``-branch disjunction has ``2^k − 1``
+        conjunctive terms; disjunctions wider than
+        ``config.max_dnf_branches`` are refused so the serving layer routes
+        them to a fallback estimator instead of paying an exponential
+        expansion.
+        """
+        if not super().can_serve(query):
+            return False
+        if isinstance(query, DNFQuery):
+            return len(query.branches) <= self.config.max_dnf_branches
+        return True
+
+    def estimate_selectivity(self, query: "Query | DNFQuery",
+                             num_samples: int | None = None,
                              method: str = "auto") -> float:
-        """Estimate the selectivity of a conjunctive range/equality query.
+        """Estimate the selectivity of a query.
 
         Parameters
         ----------
         query:
-            The query; unfiltered columns are treated as wildcards.
+            The query; unfiltered columns are treated as wildcards.  A
+            :class:`~repro.query.predicates.DNFQuery` is answered by
+            inclusion–exclusion: each signed expansion term is a plain
+            conjunction estimated with the same ``num_samples``/``method``.
         num_samples:
             Progressive-sampling paths; defaults to ``config.progressive_samples``.
         method:
@@ -138,6 +169,13 @@ class NaruEstimator(CardinalityEstimator):
             ``"progressive"``, ``"enumerate"`` or ``"uniform"`` (the naive
             region sampler, kept for ablations).
         """
+        if isinstance(query, DNFQuery):
+            if len(query.branches) == 1:
+                return self.estimate_selectivity(query.branches[0],
+                                                 num_samples, method)
+            return self._inclusion_exclusion(
+                query, lambda term: self.estimate_selectivity(
+                    term, num_samples, method))
         if not self._fitted:
             raise RuntimeError("call fit() before estimating queries")
         masks = query.column_masks(self.table)

@@ -10,9 +10,11 @@ uniformly and enforce per-dataset storage budgets.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Callable
 
 from ..data.table import Table
-from ..query.predicates import Query
+from ..query.predicates import DNFQuery, Query, dnf_expansion
+from ..query.shapes import QueryShape, query_shape
 
 __all__ = ["CardinalityEstimator"]
 
@@ -34,13 +36,49 @@ class CardinalityEstimator(ABC):
         self.num_rows = table.num_rows
 
     # ------------------------------------------------------------------ #
+    def capabilities(self) -> frozenset[QueryShape]:
+        """Query shapes this estimator can answer.
+
+        The default is the paper's language — plain conjunctions.  Estimators
+        that consume per-column valid-code masks also serve ``PREFIX``
+        (``LIKE 'x%'`` reduces to a mask like any comparison), and estimators
+        with a union strategy (native row-mask unions, or the
+        inclusion–exclusion expansion) additionally serve ``DISJUNCTIVE``.
+        The serving router matches :func:`repro.query.shapes.query_shape`
+        against this set when picking an estimator for a query.
+        """
+        return frozenset({QueryShape.CONJUNCTIVE})
+
+    def can_serve(self, query: "Query | DNFQuery") -> bool:
+        """Whether this estimator can answer the query's shape.
+
+        Subclasses may refine this beyond the pure shape check — e.g. the
+        Naru estimator bounds the branch count of disjunctions it is willing
+        to expand.
+        """
+        return query_shape(query) in self.capabilities()
+
+    # ------------------------------------------------------------------ #
     @abstractmethod
     def estimate_selectivity(self, query: Query) -> float:
         """Estimated fraction of tuples satisfying ``query`` (in ``[0, 1]``)."""
 
-    def estimate_cardinality(self, query: Query) -> float:
+    def estimate_cardinality(self, query: "Query | DNFQuery") -> float:
         """Estimated number of tuples satisfying ``query``."""
         return self.estimate_selectivity(query) * self.num_rows
+
+    def _inclusion_exclusion(self, query: DNFQuery,
+                             estimate: Callable[[Query], float]) -> float:
+        """Selectivity of a DNF query by inclusion–exclusion over conjunctions.
+
+        Every expansion term is a plain conjunctive :class:`Query` (branch
+        intersections concatenate predicate lists), so any
+        conjunctive-capable subclass can serve disjunctions by passing its
+        own conjunctive estimator here.  The signed sum is clipped to
+        ``[0, 1]`` to absorb estimation noise in the cross terms.
+        """
+        total = sum(sign * estimate(term) for sign, term in dnf_expansion(query))
+        return float(min(max(total, 0.0), 1.0))
 
     def size_bytes(self) -> int:
         """Approximate storage footprint of the estimator's summary/model."""

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..data.table import Table
 from ..query.predicates import Query
+from ..query.shapes import QueryShape
 from .base import CardinalityEstimator
 
 __all__ = ["ChowLiuEstimator"]
@@ -44,6 +45,10 @@ class ChowLiuEstimator(CardinalityEstimator):
         self._parents = self._learn_tree(table)
         self._marginals = [column.marginal() for column in table.columns]
         self._cpts = self._build_cpts(table)
+
+    def capabilities(self) -> frozenset[QueryShape]:
+        """Mask-based: prefixes reduce to valid-code masks like any filter."""
+        return frozenset({QueryShape.CONJUNCTIVE, QueryShape.PREFIX})
 
     # ------------------------------------------------------------------ #
     # Structure and parameter learning

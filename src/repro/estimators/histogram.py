@@ -17,6 +17,7 @@ import numpy as np
 
 from ..data.table import Table
 from ..query.predicates import Query
+from ..query.shapes import QueryShape
 from .base import CardinalityEstimator
 
 __all__ = ["MultiDimHistogramEstimator"]
@@ -73,6 +74,11 @@ class MultiDimHistogramEstimator(CardinalityEstimator):
                 break
             best = candidate
         return max(best, 1)
+
+    # ------------------------------------------------------------------ #
+    def capabilities(self) -> frozenset[QueryShape]:
+        """Mask-based: prefixes reduce to valid-code masks like any filter."""
+        return frozenset({QueryShape.CONJUNCTIVE, QueryShape.PREFIX})
 
     # ------------------------------------------------------------------ #
     def _bucket_weights(self, column_index: int, mask: np.ndarray | None) -> np.ndarray:

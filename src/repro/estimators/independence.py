@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..data.table import Table
 from ..query.predicates import Query
+from ..query.shapes import QueryShape
 from .base import CardinalityEstimator
 
 __all__ = ["IndependenceEstimator"]
@@ -25,6 +26,10 @@ class IndependenceEstimator(CardinalityEstimator):
         super().__init__(table)
         # Exact per-column marginals over the dictionary codes.
         self._marginals = [column.marginal() for column in table.columns]
+
+    def capabilities(self) -> frozenset[QueryShape]:
+        """Mask-based: prefixes reduce to valid-code masks like any filter."""
+        return frozenset({QueryShape.CONJUNCTIVE, QueryShape.PREFIX})
 
     def estimate_selectivity(self, query: Query) -> float:
         selectivity = 1.0

@@ -18,6 +18,7 @@ from scipy.special import ndtr
 from ..data.table import Table
 from ..query.metrics import q_error
 from ..query.predicates import Query
+from ..query.shapes import QueryShape
 from .base import CardinalityEstimator
 
 __all__ = ["KDEEstimator", "KDESupervEstimator"]
@@ -56,6 +57,10 @@ class KDEEstimator(CardinalityEstimator):
     def bandwidth(self) -> np.ndarray:
         """Effective per-column bandwidths."""
         return self._base_bandwidth * self.bandwidth_multipliers
+
+    def capabilities(self) -> frozenset[QueryShape]:
+        """Mask-based: prefixes reduce to valid-code masks like any filter."""
+        return frozenset({QueryShape.CONJUNCTIVE, QueryShape.PREFIX})
 
     def estimate_selectivity(self, query: Query) -> float:
         masks = query.column_masks(self.table)

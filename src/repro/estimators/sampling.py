@@ -11,7 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.table import Table
-from ..query.predicates import Query
+from ..query.predicates import DNFQuery, Query
+from ..query.shapes import QueryShape
 from .base import CardinalityEstimator
 
 __all__ = ["SamplingEstimator"]
@@ -51,15 +52,30 @@ class SamplingEstimator(CardinalityEstimator):
         """Number of tuples retained in the sample."""
         return int(self._sample.shape[0])
 
-    def estimate_selectivity(self, query: Query) -> float:
+    def capabilities(self) -> frozenset[QueryShape]:
+        """Row-level access serves every shape: masks handle prefixes, and
+        disjunctions union per-branch row masks over the sample — no
+        inclusion–exclusion needed, and no branch-count bound either."""
+        return frozenset({QueryShape.CONJUNCTIVE, QueryShape.PREFIX,
+                          QueryShape.DISJUNCTIVE})
+
+    def estimate_selectivity(self, query: "Query | DNFQuery") -> float:
+        if isinstance(query, DNFQuery):
+            mask = np.zeros(self._sample.shape[0], dtype=bool)
+            for branch in query.branches:
+                mask |= self._qualifying_sample_rows(branch)
+            return float(mask.mean())
+        return float(self._qualifying_sample_rows(query).mean())
+
+    def _qualifying_sample_rows(self, query: Query) -> np.ndarray:
         mask = np.ones(self._sample.shape[0], dtype=bool)
         for column_index, domain_mask in enumerate(query.column_masks(self.table)):
             if domain_mask is None:
                 continue
             mask &= domain_mask[self._sample[:, column_index]]
             if not mask.any():
-                return 0.0
-        return float(mask.mean())
+                break
+        return mask
 
     def size_bytes(self) -> int:
         return int(self._sample.size * 4)

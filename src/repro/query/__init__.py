@@ -11,12 +11,19 @@ from .metrics import (
     selectivity_bucket,
     summarize_errors,
 )
-from .predicates import Operator, Predicate, Query
+from .predicates import (DNFQuery, Operator, Predicate, Query,
+                         canonical_in_values, dnf_expansion)
+from .shapes import QueryShape, query_shape
 
 __all__ = [
     "Operator",
     "Predicate",
     "Query",
+    "DNFQuery",
+    "dnf_expansion",
+    "canonical_in_values",
+    "QueryShape",
+    "query_shape",
     "qualifying_rows",
     "true_cardinality",
     "true_selectivity",

@@ -12,14 +12,24 @@ from typing import Sequence
 import numpy as np
 
 from ..data.table import Table
-from .predicates import Query
+from .predicates import DNFQuery, Query
 
 __all__ = ["qualifying_rows", "true_cardinality", "true_selectivity",
            "true_selectivities"]
 
 
-def qualifying_rows(table: Table, query: Query) -> np.ndarray:
-    """Boolean row mask of tuples satisfying the conjunctive query."""
+def qualifying_rows(table: Table, query: "Query | DNFQuery") -> np.ndarray:
+    """Boolean row mask of tuples satisfying the query.
+
+    Conjunctive queries intersect per-column code masks; DNF queries union
+    the row masks of their conjunctive branches, so ground truth exists for
+    every shape the serving layer accepts.
+    """
+    if isinstance(query, DNFQuery):
+        mask = np.zeros(table.num_rows, dtype=bool)
+        for branch in query.branches:
+            mask |= qualifying_rows(table, branch)
+        return mask
     mask = np.ones(table.num_rows, dtype=bool)
     for column, domain_mask in zip(table.columns, query.column_masks(table)):
         if domain_mask is None:
@@ -30,17 +40,17 @@ def qualifying_rows(table: Table, query: Query) -> np.ndarray:
     return mask
 
 
-def true_cardinality(table: Table, query: Query) -> int:
+def true_cardinality(table: Table, query: "Query | DNFQuery") -> int:
     """Exact number of rows satisfying the query."""
     return int(qualifying_rows(table, query).sum())
 
 
-def true_selectivity(table: Table, query: Query) -> float:
+def true_selectivity(table: Table, query: "Query | DNFQuery") -> float:
     """Exact fraction of rows satisfying the query."""
     return true_cardinality(table, query) / table.num_rows
 
 
-def true_selectivities(table: Table, queries: Sequence[Query]) -> np.ndarray:
+def true_selectivities(table: Table, queries: Sequence["Query | DNFQuery"]) -> np.ndarray:
     """Exact selectivities of a whole workload, in query order.
 
     Convenience for scoring served workloads (see :mod:`repro.serve`)

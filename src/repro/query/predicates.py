@@ -1,14 +1,28 @@
-"""Predicates and conjunctive queries over dictionary-encoded tables.
+"""Predicates, conjunctive queries and DNF disjunctions over encoded tables.
 
 The problem statement (§2.2 of the paper) covers conjunctions of per-attribute
 filters with the operators ``=, ≠, <, ≤, >, ≥``, interval containment and
 ``IN``.  All of them reduce, per column, to a *set of valid dictionary codes*
 (a boolean mask over the column's domain).  That reduction is what both the
 exact executor and every estimator in this package consume.
+
+Two extensions widen the language beyond the paper without changing that
+contract:
+
+* ``LIKE 'x%'`` string-prefix filters.  Because every column domain is stored
+  sorted, the values sharing a prefix form one contiguous code range, so a
+  prefix filter reduces to a valid-code mask exactly like the comparison
+  operators.
+* :class:`DNFQuery` — a disjunction (``OR``) of conjunctive :class:`Query`
+  branches.  Estimators answer it either natively (e.g. by unioning row
+  masks over a sample) or through :func:`dnf_expansion`, the
+  inclusion–exclusion expansion whose terms are again plain conjunctive
+  queries.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Sequence
@@ -17,7 +31,8 @@ import numpy as np
 
 from ..data.table import Column, Table
 
-__all__ = ["Operator", "Predicate", "Query"]
+__all__ = ["Operator", "Predicate", "Query", "DNFQuery", "dnf_expansion",
+           "canonical_in_values"]
 
 
 class Operator(str, Enum):
@@ -31,6 +46,19 @@ class Operator(str, Enum):
     GE = ">="
     IN = "in"
     BETWEEN = "between"
+    LIKE = "like"
+
+
+def canonical_in_values(value: Iterable) -> list:
+    """The members of an ``IN`` literal in canonical (sorted) order.
+
+    ``IN`` accepts ``set``/``frozenset`` values, which iterate in hash order —
+    unstable across processes.  Everything that renders or serialises an
+    ``IN`` list (``Predicate.__str__``, workload files, cache keys) sorts the
+    members with this type-aware key first, so equal predicates always produce
+    byte-identical output.  Duplicates are preserved for list/tuple literals.
+    """
+    return sorted(value, key=lambda item: (str(type(item)), repr(item)))
 
 
 @dataclass(frozen=True)
@@ -38,7 +66,8 @@ class Predicate:
     """A single filter ``column <op> value``.
 
     ``value`` is a scalar for comparison operators, an iterable of scalars for
-    ``IN`` and a ``(low, high)`` pair (inclusive on both ends) for ``BETWEEN``.
+    ``IN``, a ``(low, high)`` pair (inclusive on both ends) for ``BETWEEN``
+    and a ``'prefix%'`` pattern string for ``LIKE``.
     """
 
     column: str
@@ -54,6 +83,17 @@ class Predicate:
                 raise ValueError(f"BETWEEN bounds out of order: {self.value!r}")
         if operator is Operator.IN and not isinstance(self.value, (list, tuple, set, frozenset, np.ndarray)):
             raise ValueError("IN predicate requires an iterable of values")
+        if operator is Operator.LIKE:
+            if not isinstance(self.value, str) or not self.value.endswith("%"):
+                raise ValueError(
+                    f"LIKE supports prefix patterns of the form 'x%', "
+                    f"got {self.value!r}")
+            # '_' is a literal character, not a wildcard: the categorical
+            # domains of this package label values "name_index".
+            if "%" in self.value[:-1]:
+                raise ValueError(
+                    f"LIKE supports a single trailing '%' wildcard only, "
+                    f"got {self.value!r}")
 
     # ------------------------------------------------------------------ #
     def valid_codes(self, column: Column) -> np.ndarray:
@@ -96,9 +136,26 @@ class Predicate:
             low, high = self.value
             mask[column.codes_lt(low): column.codes_leq(high)] = True
             return mask
+        if op is Operator.LIKE:
+            if column.is_numeric:
+                raise ValueError(
+                    f"LIKE applies to string columns only; "
+                    f"{self.column!r} is numeric")
+            # The domain is sorted, so values sharing a prefix occupy one
+            # contiguous code range: [prefix, prefix + U+10FFFF).  The upper
+            # sentinel is the largest code point, so every continuation of
+            # the prefix sorts strictly below it.
+            prefix = self.value[:-1]
+            start = int(np.searchsorted(column.domain, prefix, side="left"))
+            stop = int(np.searchsorted(column.domain, prefix + chr(0x10FFFF),
+                                       side="left"))
+            mask[start:stop] = True
+            return mask
         raise AssertionError(f"unhandled operator {op!r}")
 
     def __str__(self) -> str:
+        if self.operator is Operator.IN:
+            return f"{self.column} in {canonical_in_values(self.value)!r}"
         return f"{self.column} {self.operator.value} {self.value!r}"
 
 
@@ -186,3 +243,115 @@ class Query:
 
     def __repr__(self) -> str:
         return f"Query({str(self)})"
+
+
+class DNFQuery:
+    """A disjunction (``OR``) of conjunctive :class:`Query` branches.
+
+    Disjunctive normal form is the minimal widening of the paper's
+    conjunctive language that every estimator can still answer: estimators
+    with row-level access (sampling, the exact executor) union per-branch row
+    masks, and density models expand the disjunction by inclusion–exclusion
+    over conjunctive terms (:func:`dnf_expansion`).
+
+    Branches are stored unqualified; the disjunction's own ``table`` is the
+    single routing qualifier.  A single-branch ``DNFQuery`` is semantically
+    identical to its branch, and the serving layer guarantees it produces
+    bit-identical estimates.
+
+    Parameters
+    ----------
+    branches:
+        The conjunctive branches — :class:`Query` objects or bare predicate
+        sequences.  At least one is required.
+    table:
+        Optional relation qualifier.  When omitted it is inherited from the
+        branches; branches naming *different* relations are rejected.
+    """
+
+    def __init__(self, branches: Sequence["Query | Sequence[Predicate]"],
+                 table: str | None = None) -> None:
+        resolved = [branch if isinstance(branch, Query) else Query(branch)
+                    for branch in branches]
+        if not resolved:
+            raise ValueError("a DNF query needs at least one branch")
+        tables = {branch.table for branch in resolved
+                  if branch.table is not None}
+        if table is not None:
+            tables.add(table)
+        if len(tables) > 1:
+            raise ValueError("DNF branches target different relations: "
+                             + ", ".join(sorted(tables)))
+        self.table = next(iter(tables), None)
+        self.branches = [Query(branch.predicates) for branch in resolved]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tuples(cls, branches: Iterable[Iterable[tuple[str, str, object]]],
+                    table: str | None = None) -> "DNFQuery":
+        """Build a DNF query from per-branch ``(column, operator, value)`` tuples."""
+        return cls([Query.from_tuples(branch) for branch in branches],
+                   table=table)
+
+    def qualified(self, table: str) -> "DNFQuery":
+        """A copy of this query targeting the named relation."""
+        return DNFQuery(self.branches, table=table)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_filters(self) -> int:
+        """Total number of filters across all branches."""
+        return sum(branch.num_filters for branch in self.branches)
+
+    def filtered_columns(self) -> list[str]:
+        """Names of columns filtered by at least one branch, first-seen order."""
+        seen: list[str] = []
+        for branch in self.branches:
+            for column in branch.filtered_columns():
+                if column not in seen:
+                    seen.append(column)
+        return seen
+
+    def branch_masks(self, table: Table) -> list[list[np.ndarray | None]]:
+        """Per-branch valid-code masks (see :meth:`Query.column_masks`)."""
+        return [branch.column_masks(table) for branch in self.branches]
+
+    def __iter__(self):
+        # Yields every predicate across all branches, so schema checks
+        # written against conjunctive queries (``for predicate in query``)
+        # keep working.  Branch structure is *not* recoverable from this
+        # iteration — use ``.branches`` for semantics.
+        return itertools.chain.from_iterable(self.branches)
+
+    def __str__(self) -> str:
+        disjunction = " OR ".join(f"({branch})" for branch in self.branches)
+        return f"[{self.table}] {disjunction}" if self.table else disjunction
+
+    def __repr__(self) -> str:
+        return f"DNFQuery({str(self)})"
+
+
+def dnf_expansion(query: DNFQuery) -> list[tuple[int, Query]]:
+    """Signed inclusion–exclusion terms of a DNF query.
+
+    ``sel(B₁ ∪ … ∪ B_k) = Σ_{∅≠S⊆{1..k}} (−1)^{|S|+1} · sel(∧_{i∈S} B_i)``,
+    and the intersection of conjunctive branches is itself conjunctive: the
+    concatenation of their predicate lists (``Query.column_masks`` intersects
+    same-column filters).  Every term is therefore a plain :class:`Query`
+    that any conjunctive-capable estimator can answer; summing the signed
+    term selectivities yields the disjunction's selectivity.
+
+    Terms are returned in deterministic order — by subset size, then
+    lexicographically by branch index — and the single-branch expansion is
+    exactly ``[(1, branch)]``.  The expansion has ``2^k − 1`` terms, so
+    callers bound the branch count (see ``NaruConfig.max_dnf_branches``).
+    """
+    branches = query.branches
+    terms: list[tuple[int, Query]] = []
+    for size in range(1, len(branches) + 1):
+        sign = 1 if size % 2 else -1
+        for subset in itertools.combinations(range(len(branches)), size):
+            predicates = [predicate for index in subset
+                          for predicate in branches[index].predicates]
+            terms.append((sign, Query(predicates, table=query.table)))
+    return terms

@@ -1,0 +1,56 @@
+"""Query-shape classification for capability-based estimator routing.
+
+The serving layer dispatches each query to the best-capable estimator by
+*shape*: the structural class that decides which estimation strategies can
+answer it.  Estimators advertise the shapes they serve
+(:meth:`repro.estimators.base.CardinalityEstimator.capabilities`) as sets of
+:class:`QueryShape`, and :class:`repro.serve.FleetRouter` matches
+:func:`query_shape` against those sets when picking the ``(relation,
+estimator)`` pair for a submission.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from .predicates import DNFQuery, Operator, Query
+
+__all__ = ["QueryShape", "query_shape"]
+
+
+class QueryShape(str, Enum):
+    """Structural classes of the query language.
+
+    ``CONJUNCTIVE``
+        The paper's language: a conjunction of ``=, ≠, <, ≤, >, ≥``,
+        ``BETWEEN`` and ``IN`` filters.  Every estimator serves it.
+    ``PREFIX``
+        A conjunction containing at least one ``LIKE 'x%'`` string-prefix
+        filter.  Reduces to valid-code masks like any other conjunction, so
+        every mask-based estimator serves it too.
+    ``DISJUNCTIVE``
+        A :class:`~repro.query.predicates.DNFQuery` with two or more
+        branches.  Needs either native union support or an
+        inclusion–exclusion expansion; branches may themselves contain
+        ``LIKE`` filters.
+    """
+
+    CONJUNCTIVE = "conjunctive"
+    PREFIX = "prefix"
+    DISJUNCTIVE = "disjunctive"
+
+
+def query_shape(query: "Query | DNFQuery") -> QueryShape:
+    """Classify a query into its :class:`QueryShape`.
+
+    A single-branch DNF query classifies as its branch would — it is
+    semantically a plain conjunction, and the serving layer answers it
+    bit-identically to one.
+    """
+    if isinstance(query, DNFQuery):
+        if len(query.branches) > 1:
+            return QueryShape.DISJUNCTIVE
+        return query_shape(query.branches[0])
+    if any(predicate.operator is Operator.LIKE for predicate in query.predicates):
+        return QueryShape.PREFIX
+    return QueryShape.CONJUNCTIVE

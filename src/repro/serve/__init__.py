@@ -80,6 +80,28 @@ no default route) raise :class:`RoutingError` at submission — they never
 silently vanish from the report.  ``python -m repro.serve --tables users
 sessions --join sessions:users:user_id:user_id`` is the command-line form.
 
+Query language and estimator ensembles
+--------------------------------------
+Queries are not limited to conjunctions: ``LIKE 'x%'`` string prefixes and
+disjunctions of conjunctive branches
+(:class:`~repro.query.predicates.DNFQuery`) are part of the language, and
+each estimator declares which shapes it can answer
+(:meth:`~repro.estimators.base.CardinalityEstimator.capabilities`).  Naru
+serves small disjunctions natively by inclusion–exclusion over batched
+conjunctive expansion terms; a relation can register a *fallback* estimator
+(``register_table(..., fallback=...)``) for everything past the primary's
+capabilities — e.g. many-branch disjunctions past
+``NaruConfig.max_dnf_branches``.  The router picks the ensemble member per
+query by shape (:meth:`FleetRouter.resolve_serving`); conjunctive traffic
+always lands on the primary, bit for bit unchanged.  Reports carry
+per-estimator columns (``stats.estimators``,
+:meth:`FleetReport.accuracy_by_estimator`);
+:func:`generate_shape_workload` builds mixed-shape workloads and the
+``serve_ensemble`` benchmark measures the ensemble against extended-executor
+ground truth.  ``python -m repro.serve --tables users sessions --fallback
+sampling --dnf-fraction 0.2 --like-fraction 0.2`` is the command-line form;
+``docs/serving.md`` ("Query language & estimator ensemble") walks it.
+
 Replication and admission control
 ---------------------------------
 A hot relation can be *replicated*: ``register_table(..., replicas=N)`` makes
@@ -257,6 +279,7 @@ from .engine import (
     VirtualClock,
     query_rng,
     run_sequential,
+    term_rng,
 )
 from .loadgen import (
     ARRIVAL_PROCESSES,
@@ -308,6 +331,7 @@ from .stream import (
 from .workload import (
     generate_bursty_workload,
     generate_mixed_workload,
+    generate_shape_workload,
     load_workload,
     save_workload,
 )
@@ -320,6 +344,7 @@ __all__ = [
     "BatchRecord",
     "run_sequential",
     "query_rng",
+    "term_rng",
     "VirtualClock",
     "ConditionalProbCache",
     "PackedConditionalCache",
@@ -369,6 +394,7 @@ __all__ = [
     "run_kill_worker_drill",
     "generate_mixed_workload",
     "generate_bursty_workload",
+    "generate_shape_workload",
     "load_workload",
     "save_workload",
 ]

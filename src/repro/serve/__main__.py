@@ -29,6 +29,14 @@ Multi-model usage (a registry of relations behind one router)::
     python -m repro.serve --tables users sessions --replicas 4 \
         --max-pending 32 --overflow shed --result-cache --num-queries 96
 
+    # Widen the query language: a quarter of the workload becomes
+    # disjunctions (2 or 6 branches) and a quarter LIKE prefixes; 6-branch
+    # disjunctions overflow Naru's inclusion–exclusion bound and route to
+    # the per-relation sampling fallback estimator.
+    python -m repro.serve --tables users sessions --fallback sampling \
+        --dnf-fraction 0.25 --like-fraction 0.25 --dnf-branches 2 6 \
+        --num-queries 96
+
     # Stream the workload query-by-query through the asyncio client, with
     # SLO-aware adaptive batching: micro-batches shrink whenever the
     # end-to-end latency EWMA (queue wait + dispatch) threatens the 50 ms
@@ -72,6 +80,7 @@ import argparse
 import json
 import signal
 import sys
+from collections import Counter
 
 import numpy as np
 
@@ -84,8 +93,10 @@ from ..data import (
     make_sessions,
     make_users,
 )
+from ..estimators import SamplingEstimator
 from ..query import WorkloadGenerator, true_selectivities
 from ..query.metrics import q_error
+from ..query.shapes import query_shape
 from .cache import canonical_query_key
 from .engine import EstimationEngine, run_sequential
 from .loadgen import (
@@ -99,7 +110,12 @@ from .procfleet import ProcessFleet
 from .registry import ModelRegistry
 from .router import FleetRouter, RoutingError, run_fleet_sequential
 from .stream import StreamingRouter, stream_workload
-from .workload import generate_mixed_workload, load_workload, save_workload
+from .workload import (
+    generate_mixed_workload,
+    generate_shape_workload,
+    load_workload,
+    save_workload,
+)
 
 _DATASETS = {
     "census": make_census,
@@ -157,6 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
                              "in multi-model mode (ignored with --workload)")
     parser.add_argument("--min-filters", type=int, default=2)
     parser.add_argument("--max-filters", type=int, default=5)
+    parser.add_argument("--dnf-fraction", type=float, default=0.0, metavar="F",
+                        help="rewrite this fraction of generated queries into "
+                             "DNF disjunctions (multi-model mode; fractions "
+                             "must lie in [0, 1] and sum to at most 1)")
+    parser.add_argument("--like-fraction", type=float, default=0.0, metavar="F",
+                        help="rewrite this fraction of generated queries into "
+                             "LIKE 'x%%' string-prefix queries (multi-model "
+                             "mode; relations without string columns keep "
+                             "their conjunction)")
+    parser.add_argument("--dnf-branches", type=int, nargs="+", default=[2],
+                        metavar="K",
+                        help="branch counts cycled across the generated "
+                             "disjunctions (each at least 2); counts above "
+                             "the model's max_dnf_branches only serve when a "
+                             "--fallback estimator is registered")
+    parser.add_argument("--fallback", choices=("sampling",), default=None,
+                        help="register a per-relation fallback estimator that "
+                             "serves the query shapes the primary Naru model "
+                             "refuses, e.g. many-branch disjunctions "
+                             "(multi-model mode)")
+    parser.add_argument("--fallback-sample", type=int, default=1024,
+                        metavar="ROWS",
+                        help="rows retained by each sampling fallback "
+                             "estimator (requires --fallback)")
     parser.add_argument("--epochs", type=int, default=5,
                         help="training epochs of each served Naru model")
     parser.add_argument("--samples", type=int, default=200,
@@ -352,6 +392,14 @@ def _serve_multi(arguments) -> int:
         name = registry.register_join(spec, replicas=arguments.replicas)
         print(f"Registered join relation: {registry.relation(name)} "
               f"({spec.how} of {spec.left} ⨝ {spec.right}){replica_note}")
+    if arguments.fallback:
+        for name in registry.names:
+            estimator = SamplingEstimator(
+                registry.relation(name),
+                sample_size=arguments.fallback_sample, seed=arguments.seed)
+            registry.set_fallback(name, estimator)
+            print(f"Registered fallback estimator for {name}: "
+                  f"{estimator.name}")
 
     if arguments.workload:
         queries = load_workload(arguments.workload)
@@ -363,6 +411,19 @@ def _serve_multi(arguments) -> int:
                 f"this registry: {', '.join(unroutable)} "
                 f"(registered: {', '.join(registry.names)})")
         print(f"Replaying {len(queries)} queries from {arguments.workload}")
+    elif arguments.dnf_fraction > 0 or arguments.like_fraction > 0:
+        queries = generate_shape_workload(
+            {name: registry.relation(name) for name in registry.names},
+            arguments.num_queries, dnf_fraction=arguments.dnf_fraction,
+            like_fraction=arguments.like_fraction,
+            dnf_branches=tuple(arguments.dnf_branches),
+            min_filters=arguments.min_filters,
+            max_filters=arguments.max_filters, seed=arguments.seed)
+        mix = Counter(query_shape(query).value for query in queries)
+        parts = ", ".join(f"{count} {shape}"
+                          for shape, count in sorted(mix.items()))
+        print(f"Generated {len(queries)} queries across "
+              f"{len(registry)} relations ({parts})")
     else:
         queries = generate_mixed_workload(
             {name: registry.relation(name) for name in registry.names},
@@ -482,6 +543,14 @@ def _serve_multi(arguments) -> int:
                   f"{route_stats['e2e_ms']['p95']:.1f} ms, "
                   f"batch size {trace[0]} -> {trace[-1]} "
                   f"(min {min(trace)}, {len(trace) - 1} dispatches)")
+    if stats.estimators is not None and len(stats.estimators) > 1:
+        print("  per-estimator breakdown:")
+        for name, entry in stats.estimators.items():
+            e2e = (f", e2e p95 {entry['e2e_ms']['p95']:.1f} ms"
+                   if entry["e2e_ms"] else "")
+            units = ", ".join(entry["units"]) if entry["units"] else "cache"
+            print(f"    {name:<22} {entry['num_queries']:>4} queries via "
+                  f"{units}{e2e}")
 
     document = {"fleet": stats.as_dict(),
                 "estimates": [result.selectivity for result in report.results],
@@ -522,14 +591,24 @@ def _serve_multi(arguments) -> int:
 
     if arguments.q_errors:
         errors = []
+        truths: dict[int, float] = {}
         for result in report.results:
             relation = registry.relation(result.route)
             truth = true_selectivities(relation, [result.query])[0]
-            errors.append(q_error(result.cardinality, truth * relation.num_rows))
+            truths[result.index] = float(truth * relation.num_rows)
+            errors.append(q_error(result.cardinality, truths[result.index]))
         if errors:
             print(f"\nq-error: median {np.median(errors):.2f}, "
                   f"p95 {np.quantile(errors, 0.95):.2f}, max {np.max(errors):.2f}")
         document["q_errors"] = errors
+        if any(result.estimator for result in report.results):
+            by_estimator = report.accuracy_by_estimator(truths)
+            for name, entry in by_estimator.items():
+                print(f"  {name:<22} {entry['num_queries']:>4} queries, "
+                      f"median {entry['median_qerror']:.2f}, "
+                      f"p95 {entry['p95_qerror']:.2f}, "
+                      f"max {entry['max_qerror']:.2f}")
+            document["q_errors_by_estimator"] = by_estimator
 
     if arguments.json:
         with open(arguments.json, "w") as handle:
@@ -780,6 +859,11 @@ def main(argv: list[str] | None = None) -> int:
             ("--trace-file", arguments.trace_file is not None),
             ("--save-trace", arguments.save_trace is not None),
             ("--scenario", arguments.scenario is not None),
+            ("--fallback", arguments.fallback is not None),
+            ("--fallback-sample", arguments.fallback_sample != 1024),
+            ("--dnf-fraction", arguments.dnf_fraction != 0),
+            ("--like-fraction", arguments.like_fraction != 0),
+            ("--dnf-branches", arguments.dnf_branches != [2]),
         ) if used]
         if fleet_flags:
             raise SystemExit(f"{', '.join(fleet_flags)} require(s) --tables "
@@ -797,13 +881,16 @@ def main(argv: list[str] | None = None) -> int:
             ("--max-pending", arguments.max_pending != 0),
             ("--overflow", arguments.overflow != "block"),
             ("--arrivals", arguments.arrivals is not None),
+            ("--fallback", arguments.fallback is not None),
+            ("--dnf-fraction", arguments.dnf_fraction != 0),
+            ("--like-fraction", arguments.like_fraction != 0),
         ) if used]
         if unsupported:
             raise SystemExit(
                 f"{', '.join(unsupported)} and --workers are mutually "
                 "exclusive: the process fleet serves fixed micro-batches "
-                "without admission control, result caching, streaming or "
-                "open-loop pacing")
+                "without admission control, result caching, streaming, "
+                "open-loop pacing or ensemble routing")
     if arguments.replicas < 1:
         raise SystemExit("--replicas must be at least 1")
     if arguments.max_pending < 0:
@@ -818,6 +905,29 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit(f"--flush-after-ms must be positive, got "
                          f"{arguments.flush_after_ms:g} (omit the flag to let "
                          "partial batches wait indefinitely)")
+    for flag, fraction in (("--dnf-fraction", arguments.dnf_fraction),
+                           ("--like-fraction", arguments.like_fraction)):
+        if not 0.0 <= fraction <= 1.0:
+            raise SystemExit(f"{flag} must lie in [0, 1], got {fraction:g}")
+    if arguments.dnf_fraction + arguments.like_fraction > 1.0:
+        raise SystemExit("--dnf-fraction and --like-fraction must sum to at "
+                         "most 1 (the rest of the workload stays conjunctive)")
+    if any(branches < 2 for branches in arguments.dnf_branches):
+        raise SystemExit("--dnf-branches values must be at least 2 (a "
+                         "single-branch disjunction is just a conjunction)")
+    shaped = arguments.dnf_fraction > 0 or arguments.like_fraction > 0
+    if arguments.dnf_branches != [2] and arguments.dnf_fraction == 0:
+        raise SystemExit("--dnf-branches does nothing without --dnf-fraction: "
+                         "no disjunctions would be generated")
+    if shaped and arguments.workload:
+        raise SystemExit("--dnf-fraction/--like-fraction shape *generated* "
+                         "workloads and are incompatible with --workload "
+                         "(the file already fixes each query's shape)")
+    if arguments.fallback_sample < 1:
+        raise SystemExit("--fallback-sample must be at least 1")
+    if arguments.fallback_sample != 1024 and arguments.fallback is None:
+        raise SystemExit("--fallback-sample does nothing without --fallback: "
+                         "no fallback estimator would be built")
     if arguments.min_batch < 1:
         raise SystemExit("--min-batch must be at least 1")
     if arguments.min_batch > arguments.batch_size:

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..query.predicates import Operator, Query
+from ..query.predicates import DNFQuery, Operator, Query
 
 __all__ = ["CacheStats", "ConditionalProbCache", "PackedConditionalCache",
            "CachedConditionalModel", "ResultCacheStats", "ResultCache",
@@ -549,24 +549,38 @@ def _canonical_value(operator: Operator, value: object) -> object:
     return _canonical_scalar(value)
 
 
-def canonical_query_key(query: Query, route: str | None = None) -> tuple:
+def _canonical_predicates(query: Query) -> tuple:
+    return tuple(sorted(
+        ((predicate.column, predicate.operator.value,
+          _canonical_value(predicate.operator, predicate.value))
+         for predicate in query.predicates),
+        # Type-aware ordering: two predicates on the same column and
+        # operator may carry incomparable literal types (1 vs "x"), which
+        # raw tuple comparison would crash on.
+        key=lambda spec: (spec[0], spec[1], str(type(spec[2])), repr(spec[2]))))
+
+
+def canonical_query_key(query: "Query | DNFQuery",
+                        route: str | None = None) -> tuple:
     """Stable exact-match cache key of one query.
 
     Two queries map to the same key iff they filter the same relation
     (``route`` wins over the query's own qualifier — the router passes the
     *resolved* route so default-routed and explicitly qualified forms of the
-    same query share an entry) with the same conjunction of predicates,
-    regardless of predicate order or ``IN``-list order.
+    same query share an entry) with the same predicate structure, regardless
+    of predicate order or ``IN``-list order.  DNF keys are canonical over the
+    *set* of branches (order-free, duplicates collapse), and a single-branch
+    DNF query keys identically to the equivalent plain conjunction — the two
+    forms produce bit-identical estimates, so they share a cache entry.
     """
-    predicates = tuple(sorted(
-        ((predicate.column, predicate.operator.value,
-          _canonical_value(predicate.operator, predicate.value))
-         for predicate in query),
-        # Type-aware ordering: two predicates on the same column and
-        # operator may carry incomparable literal types (1 vs "x"), which
-        # raw tuple comparison would crash on.
-        key=lambda spec: (spec[0], spec[1], str(type(spec[2])), repr(spec[2]))))
-    return (route if route is not None else query.table, predicates)
+    relation = route if route is not None else query.table
+    if isinstance(query, DNFQuery):
+        branch_keys = sorted({_canonical_predicates(branch)
+                              for branch in query.branches}, key=repr)
+        if len(branch_keys) == 1:
+            return (relation, branch_keys[0])
+        return (relation, ("dnf",) + tuple(branch_keys))
+    return (relation, _canonical_predicates(query))
 
 
 @dataclass

@@ -18,6 +18,12 @@ micro-batch boundaries: running a workload with ``batch_size=64`` or
 wildcard columns).  :func:`run_sequential` exploits this to provide the
 apples-to-apples unbatched baseline used by the throughput benchmark.
 
+Multi-branch :class:`~repro.query.predicates.DNFQuery` submissions expand by
+inclusion–exclusion into signed conjunctive sampler terms (each with its own
+``(seed, query_index, term)`` child stream, see :func:`term_rng`) that pack
+into the same batched sampler run as everything else; conjunctive queries and
+single-branch disjunctions keep their original streams bit for bit.
+
 Latency is accounted end-to-end: every submission is stamped with an arrival
 time from the engine's ``clock``, so each result carries its queueing delay
 (submission to dispatch start) and its end-to-end latency (submission to
@@ -36,12 +42,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.progressive import ProgressiveSampler
-from ..query.predicates import Query
+from ..query.predicates import DNFQuery, Query, dnf_expansion
 from .cache import (CachedConditionalModel, ConditionalProbCache,
                     PackedConditionalCache)
 
 __all__ = ["EstimateResult", "BatchRecord", "EngineStats", "EngineReport",
-           "EstimationEngine", "VirtualClock", "run_sequential", "query_rng"]
+           "EstimationEngine", "VirtualClock", "run_sequential", "query_rng",
+           "term_rng"]
 
 
 class VirtualClock:
@@ -87,6 +94,44 @@ def query_rng(seed: int, query_index: int) -> np.random.Generator:
     """
     sequence = np.random.SeedSequence(entropy=seed, spawn_key=(query_index,))
     return np.random.default_rng(sequence)
+
+
+def term_rng(seed: int, query_index: int, term: int) -> np.random.Generator:
+    """The random stream of one inclusion–exclusion term of a served DNF query.
+
+    Multi-branch disjunctions expand into several conjunctive sampler terms
+    (see :func:`repro.query.predicates.dnf_expansion`); each term draws from
+    its own child stream keyed ``(seed, query_index, term)`` so the expansion
+    is deterministic and — like :func:`query_rng` — independent of micro-batch
+    boundaries, routing, and whatever other queries dispatch alongside.  The
+    plain ``(seed, query_index)`` streams of conjunctive queries are untouched.
+    """
+    sequence = np.random.SeedSequence(entropy=seed,
+                                      spawn_key=(query_index, term))
+    return np.random.default_rng(sequence)
+
+
+def _sampler_plan(query: "Query | DNFQuery", table, seed: int, index: int):
+    """Masks, rngs and signs of one query's progressive-sampler dispatch.
+
+    A conjunctive query — or a single-branch DNF query, which is semantically
+    the same conjunction — produces exactly one unsigned term driven by
+    :func:`query_rng`, the pre-refactor stream: conjunctive traffic and
+    single-branch disjunctions are bit-identical to what the engine served
+    before DNF existed.  A multi-branch DNF query expands by
+    inclusion–exclusion into ``2^k − 1`` signed conjunctive terms, each with
+    its own :func:`term_rng` stream; the caller sums ``sign · estimate`` over
+    the terms to recover the disjunction's selectivity.
+    """
+    if isinstance(query, DNFQuery):
+        if len(query.branches) > 1:
+            terms = dnf_expansion(query)
+            masks = [term.column_masks(table) for _, term in terms]
+            rngs = [term_rng(seed, index, position)
+                    for position in range(len(terms))]
+            return masks, rngs, [sign for sign, _ in terms]
+        query = query.branches[0]
+    return [query.column_masks(table)], [query_rng(seed, index)], [1]
 
 
 @dataclass(frozen=True)
@@ -530,10 +575,26 @@ class EstimationEngine:
         if not fitted:
             raise RuntimeError("call fit() on the estimator before serving")
         table = self.estimator.table
-        masks_batch = [query.column_masks(table) for _, query, _ in batch]
-        rngs = [query_rng(self.seed, index) for index, _, _ in batch]
-        return self._sampler.estimate_selectivity_batch(
+        # Each query contributes one sampler term (conjunctive) or its signed
+        # inclusion–exclusion expansion (multi-branch DNF); all terms of the
+        # whole micro-batch pack into ONE batched sampler run, so DNF
+        # expansions ride the same fused prefix-dedup/packed-cache pass as
+        # plain conjunctions.
+        masks_batch: list = []
+        rngs: list = []
+        slots: list[tuple[int, list[int]]] = []
+        for index, query, _ in batch:
+            masks, query_rngs, signs = _sampler_plan(query, table,
+                                                     self.seed, index)
+            slots.append((len(masks_batch), signs))
+            masks_batch.extend(masks)
+            rngs.extend(query_rngs)
+        raw = self._sampler.estimate_selectivity_batch(
             masks_batch, num_samples=self.num_samples, rngs=rngs)
+        return np.array([
+            float(np.clip(sum(sign * raw[start + offset]
+                              for offset, sign in enumerate(signs)), 0.0, 1.0))
+            for start, signs in slots])
 
 
 class _UnfusedConditionals:
@@ -597,9 +658,14 @@ def run_sequential(estimator, queries: list[Query], *,
     batches: list[BatchRecord] = []
     for position, (index, query) in enumerate(zip(indices, queries)):
         start = time.perf_counter()
-        selectivity = sampler.estimate_selectivity_batch(
-            [query.column_masks(table)], num_samples=num_samples,
-            rngs=[query_rng(seed, index)])[0]
+        # One query at a time, but a multi-branch DNF query still needs all
+        # its signed inclusion–exclusion terms (per-term streams identical to
+        # the batched engine's, so DNF drift stays exactly zero too).
+        masks, rngs, signs = _sampler_plan(query, table, seed, index)
+        raw = sampler.estimate_selectivity_batch(
+            masks, num_samples=num_samples, rngs=rngs)
+        selectivity = float(sum(sign * value
+                                for sign, value in zip(signs, raw)))
         latency_ms = (time.perf_counter() - start) * 1000.0
         selectivity = float(min(max(selectivity, 0.0), 1.0))
         # Sequential serving dispatches on arrival: queue wait is zero and the

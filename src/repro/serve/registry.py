@@ -37,6 +37,8 @@ from ..core.estimator import NaruEstimator
 from ..data.joins import JoinSpec
 from ..data.table import Table
 from ..estimators.base import CardinalityEstimator
+from ..query.predicates import DNFQuery, Query
+from ..query.shapes import QueryShape, query_shape
 
 __all__ = ["ModelRegistry"]
 
@@ -61,6 +63,10 @@ class ModelRegistry:
         self._relations: dict[str, Table] = {}
         self._configs: dict[str, NaruConfig] = {}
         self._estimators: dict[str, CardinalityEstimator] = {}
+        #: Per-relation fallback estimators serving the query shapes the
+        #: primary cannot (e.g. many-branch DNF beyond Naru's expansion
+        #: budget); see :meth:`register_table` and :meth:`fallback`.
+        self._fallbacks: dict[str, CardinalityEstimator] = {}
         self._fitted: set[str] = set()
         self._joins: dict[str, JoinSpec] = {}
         self._replicas: dict[str, int] = {}
@@ -77,6 +83,7 @@ class ModelRegistry:
     def register_table(self, table: Table, *, name: str | None = None,
                        config: NaruConfig | None = None,
                        estimator: CardinalityEstimator | None = None,
+                       fallback: CardinalityEstimator | None = None,
                        replicas: int = 1,
                        slo_ms: float | None = None,
                        flush_after_ms: float | None = None,
@@ -99,6 +106,15 @@ class ModelRegistry:
             it builds itself — it cannot know what arguments an arbitrary
             estimator's ``fit`` needs (MSCN wants a training workload, the
             KDE variants want feedback, …).
+        fallback:
+            Optional second estimator serving the query shapes the primary
+            cannot (see
+            :meth:`repro.estimators.base.CardinalityEstimator.capabilities`) —
+            typically a :class:`repro.estimators.SamplingEstimator`, whose
+            row-level access unions DNF branches of any width.  Like
+            ``estimator`` it must arrive trained and schema-matched; the
+            router routes a query here only when the primary's
+            ``can_serve`` refuses it.  Tune later with :meth:`set_fallback`.
         replicas:
             Number of serving-engine replicas the router materialises for
             this relation (default 1).  Replicas share the relation's one
@@ -142,19 +158,9 @@ class ModelRegistry:
             raise ValueError(f"flush_after_ms must be positive, got "
                              f"{flush_after_ms}")
         if estimator is not None:
-            # Structural, not identity: a live refresh legitimately rebuilds
-            # the relation as a new equal-schema Table (concat re-derives the
-            # dictionaries) while the refreshed estimator still points at the
-            # Table it was trained on.  What must match is the schema.
-            if estimator.table.column_names != table.column_names:
-                raise ValueError(
-                    f"estimator for {name!r} was built against table "
-                    f"{estimator.table.name!r}, whose schema does not match "
-                    "the registered relation")
-            if not getattr(estimator, "_fitted", True):
-                raise ValueError(
-                    f"estimator for {name!r} is not fitted; train it before "
-                    "registering (the registry only fits models it builds)")
+            self._validate_prebuilt(name, estimator, table, "estimator")
+        if fallback is not None:
+            self._validate_prebuilt(name, fallback, table, "fallback estimator")
         self._relations[name] = table
         if not replacing:
             # A replacement swaps table + model only; replica/SLO/flush
@@ -177,7 +183,28 @@ class ModelRegistry:
                 self._fitted.discard(name)
             if config is not None:
                 self._configs[name] = config
+        if fallback is not None:
+            self._fallbacks[name] = fallback
+        # A replacement without an explicit fallback keeps the existing one,
+        # mirroring how replica/SLO/flush settings survive a model swap.
         return name
+
+    @staticmethod
+    def _validate_prebuilt(name: str, estimator: CardinalityEstimator,
+                           table: Table, role: str) -> None:
+        # Structural, not identity: a live refresh legitimately rebuilds
+        # the relation as a new equal-schema Table (concat re-derives the
+        # dictionaries) while the refreshed estimator still points at the
+        # Table it was trained on.  What must match is the schema.
+        if estimator.table.column_names != table.column_names:
+            raise ValueError(
+                f"{role} for {name!r} was built against table "
+                f"{estimator.table.name!r}, whose schema does not match "
+                "the registered relation")
+        if not getattr(estimator, "_fitted", True):
+            raise ValueError(
+                f"{role} for {name!r} is not fitted; train it before "
+                "registering (the registry only fits models it builds)")
 
     def register_join(self, spec: JoinSpec, *,
                       config: NaruConfig | None = None,
@@ -228,6 +255,22 @@ class ModelRegistry:
         if slo_ms <= 0:
             raise ValueError(f"slo_ms must be positive, got {slo_ms}")
         self._slos[name] = float(slo_ms)
+
+    def set_fallback(self, name: str,
+                     fallback: CardinalityEstimator | None) -> None:
+        """Set (or clear, with ``None``) a relation's fallback estimator.
+
+        The fallback serves queries whose shape the primary estimator
+        refuses (see :meth:`can_serve`); it must arrive trained and
+        schema-matched, exactly like a pre-built primary.  Routers pick the
+        change up when they materialise the relation's serving group.
+        """
+        table = self.relation(name)
+        if fallback is None:
+            self._fallbacks.pop(name, None)
+            return
+        self._validate_prebuilt(name, fallback, table, "fallback estimator")
+        self._fallbacks[name] = fallback
 
     def set_flush_after(self, name: str, flush_after_ms: float | None) -> None:
         """Change (or clear, with ``None``) a relation's flush deadline.
@@ -401,6 +444,43 @@ class ModelRegistry:
         self.relation(name)
         return name in self._fitted
 
+    def fallback(self, name: str) -> CardinalityEstimator | None:
+        """The relation's fallback estimator (``None`` when unset)."""
+        self.relation(name)
+        return self._fallbacks.get(name)
+
+    def capabilities(self, name: str) -> frozenset[QueryShape]:
+        """Query shapes the relation's *primary* estimator can answer.
+
+        Reads the built estimator when one exists; a relation still pending
+        its lazy Naru build reports Naru's capability set — the envelope is
+        derivable from the config alone, so introspection never triggers a
+        model build.
+        """
+        estimator = self._estimators.get(name)
+        if estimator is not None:
+            return estimator.capabilities()
+        self.relation(name)
+        return frozenset({QueryShape.CONJUNCTIVE, QueryShape.PREFIX,
+                          QueryShape.DISJUNCTIVE})
+
+    def can_serve(self, name: str, query: "Query | DNFQuery") -> bool:
+        """Whether the relation's primary estimator can answer the query.
+
+        Like :meth:`capabilities` this never builds a model: an unbuilt
+        relation applies Naru's rules (all shapes, disjunctions bounded by
+        the config's ``max_dnf_branches``) from the config alone, so routing
+        decisions are cheap and identical before and after the lazy build.
+        """
+        estimator = self._estimators.get(name)
+        if estimator is not None:
+            return estimator.can_serve(query)
+        if query_shape(query) not in self.capabilities(name):
+            return False
+        if isinstance(query, DNFQuery) and len(query.branches) > 1:
+            return len(query.branches) <= self._config_for(name).max_dnf_branches
+        return True
+
     # ------------------------------------------------------------------ #
     # Estimator lifecycle
     # ------------------------------------------------------------------ #
@@ -454,6 +534,10 @@ class ModelRegistry:
                 "num_columns": table.num_columns,
                 "fitted": name in self._fitted,
                 "is_join": name in self._joins,
+                "fallback": (self._fallbacks[name].name
+                             if name in self._fallbacks else None),
+                "fallback_bytes": (self._fallbacks[name].size_bytes()
+                                   if name in self._fallbacks else 0),
                 "replicas": self._replicas.get(name, 1),
                 "slo_ms": self._slos.get(name),
                 "flush_after_ms": self._flush_afters.get(name),

@@ -11,6 +11,14 @@ trained model — and
   queries raise :class:`RoutingError` immediately — nothing is dropped),
   then to a replica by a deterministic hash of ``(relation, global workload
   index)``,
+* picks the serving **ensemble member by query shape**: the relation's
+  primary estimator when its capability set covers the query's shape
+  (:func:`repro.query.shapes.query_shape`), the relation's registered
+  fallback estimator (``register_table(..., fallback=...)``) otherwise —
+  e.g. a many-branch disjunction past Naru's inclusion–exclusion bound.
+  Conjunctive traffic always lands on the primary, untouched; a query
+  neither member can serve raises :class:`RoutingError` naming the shape,
+  the capabilities and every available route,
 * keeps **per-replica micro-batches**: each engine fills and dispatches its
   own batches, so a burst against one relation cannot delay another
   relation's queries past its own batch boundary, and a hot relation's burst
@@ -53,10 +61,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..query.predicates import Query
+from ..query.metrics import q_error
+from ..query.predicates import DNFQuery, Query
+from ..query.shapes import query_shape
 from .cache import (ConditionalProbCache, PackedConditionalCache, ResultCache,
                     canonical_query_key)
-from .engine import EngineReport, EstimationEngine, run_sequential
+from .engine import (BatchRecord, EngineReport, EngineStats, EstimateResult,
+                     EstimationEngine, run_sequential)
 from .registry import ModelRegistry
 
 __all__ = ["RoutingError", "AdmissionError", "RoutedResult", "FleetStats",
@@ -187,7 +198,11 @@ class RoutedResult:
     ``-1`` (with ``batch_index=-1``) marks a result served straight from the
     fleet-wide result cache without touching any engine.  ``queue_wait_ms``
     and ``e2e_ms`` carry the engine's end-to-end accounting (zero for
-    cache-served results, which never queue).
+    cache-served results, which never queue).  ``estimator`` names what
+    actually answered: the serving estimator (primary or fallback of the
+    route's ensemble), ``"cache"`` for result-cache hits, or ``""`` on
+    reports that predate estimator accounting.  ``route`` is always the pure
+    relation name, whichever ensemble member served.
     """
 
     index: int
@@ -199,6 +214,7 @@ class RoutedResult:
     replica: int = 0
     queue_wait_ms: float = 0.0
     e2e_ms: float = 0.0
+    estimator: str = ""
 
     @property
     def from_result_cache(self) -> bool:
@@ -259,13 +275,24 @@ class FleetStats:
     #: the ingests the serving model is behind the data — non-zero while the
     #: fleet deliberately serves stale estimates awaiting a refresh.
     epochs: dict[str, dict] | None = None
-    #: Route name -> aggregated group stats: the union of the engine-stats
-    #: keys (query/batch counts, QPS, the group cache's counters) plus
+    #: Estimator name -> aggregated serving stats across every unit that
+    #: estimator served: query count, summed dispatch time, QPS, the serving
+    #: ``units`` and per-estimator ``latency_ms``/``e2e_ms`` percentiles.
+    #: The per-estimator accuracy companion lives on the report
+    #: (:meth:`FleetReport.accuracy_by_estimator`) because accuracy needs
+    #: ground truths the router never sees.  ``None`` on reports that
+    #: predate estimator accounting (e.g. the cross-process fleet).
+    estimators: dict[str, dict] | None = None
+    #: Serving-unit name -> aggregated group stats: the union of the
+    #: engine-stats keys (query/batch counts, QPS, the group cache's
+    #: counters) plus ``relation`` and ``estimator`` identification,
     #: ``num_replicas``, ``shed``, ``result_cache_hits``, per-route
     #: ``latency_ms``/``queue_wait_ms``/``e2e_ms`` percentiles, the group's
     #: ``timeout_flushes`` count, the adaptive controller's ``batch_trace``
     #: (``None`` on fixed-batch routers) and a ``replicas`` list holding each
-    #: replica engine's own ``EngineStats.as_dict()``.
+    #: replica engine's own ``EngineStats.as_dict()``.  A unit is a relation
+    #: name for the primary replica group and ``"<relation>@fallback"`` for
+    #: the relation's fallback estimator.
     #: Cache counters live at route level only — replicas share one group
     #: cache, so the per-replica dicts carry ``cache=None``.
     routes: dict[str, dict] = field(default_factory=dict)
@@ -317,6 +344,7 @@ class FleetStats:
             "workers": self.workers,
             "epochs": self.epochs,
             "max_staleness": self.max_staleness,
+            "estimators": self.estimators,
             "routes": self.routes,
         }
 
@@ -361,6 +389,48 @@ class FleetReport:
         except KeyError:
             raise KeyError(f"no result with global index {index} in this "
                            "report") from None
+
+    def estimator_of(self, index: int) -> str:
+        """The estimator that served the query with one global index.
+
+        The primary or fallback estimator's name, ``"cache"`` for
+        result-cache hits, ``""`` on reports without estimator accounting.
+        Raises ``KeyError`` for an index this report holds no result for.
+        """
+        for result in self.results:
+            if result.index == index:
+                return result.estimator
+        raise KeyError(f"no result with global index {index} in this report")
+
+    def accuracy_by_estimator(self, true_cardinalities) -> dict[str, dict]:
+        """Per-estimator accuracy columns against known true cardinalities.
+
+        Args:
+            true_cardinalities: True cardinality per query, indexed by the
+                query's *global* index (a sequence or a mapping — anything
+                supporting ``true_cardinalities[result.index]``).
+
+        Returns:
+            Estimator name -> ``{"num_queries", "median_qerror",
+            "p95_qerror", "max_qerror"}``, grouping every served query under
+            the estimator that answered it (result-cache hits under
+            ``"cache"``).  The accuracy half of the ensemble report; the
+            latency half lives in :attr:`FleetStats.estimators`.
+        """
+        errors_by_estimator: dict[str, list[float]] = {}
+        for result in self.results:
+            truth = float(true_cardinalities[result.index])
+            errors_by_estimator.setdefault(result.estimator, []).append(
+                q_error(result.cardinality, truth))
+        return {
+            name: {
+                "num_queries": len(errors),
+                "median_qerror": float(np.median(errors)),
+                "p95_qerror": float(np.quantile(errors, 0.95)),
+                "max_qerror": float(np.max(errors)),
+            }
+            for name, errors in sorted(errors_by_estimator.items())
+        }
 
     @property
     def result_cache_hits(self) -> int:
@@ -418,6 +488,7 @@ class FleetReport:
                     "replica": result.replica,
                     "queue_wait_ms": result.queue_wait_ms,
                     "e2e_ms": result.e2e_ms,
+                    "estimator": result.estimator,
                 }
                 for result in self.results
             ],
@@ -460,19 +531,38 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
                    result_cache_stats: dict | None = None,
                    batch_traces: dict[str, list[int]] | None = None,
                    workers: dict[str, dict] | None = None,
-                   epochs: dict[str, dict] | None = None) -> FleetReport:
-    """Fold per-replica reports into one fleet report in global index order."""
+                   epochs: dict[str, dict] | None = None,
+                   unit_info: dict[str, dict] | None = None) -> FleetReport:
+    """Fold per-replica reports into one fleet report in global index order.
+
+    ``route_reports`` is keyed by *serving unit*: the relation name for its
+    primary replica group, ``"<relation>@fallback"`` for its fallback
+    estimator.  ``unit_info`` maps each unit to its ``{"relation",
+    "estimator"}`` identification; callers that predate the ensemble (the
+    cross-process fleet) omit it, and their reports carry the unit name as
+    the relation with no estimator breakdown.
+    """
     cached_results = cached_results or []
     shed_by_route = shed_by_route or {}
     batch_traces = batch_traces or {}
+    info = unit_info or {}
+
+    def relation_of(unit: str) -> str:
+        return info.get(unit, {}).get("relation", unit)
+
+    def estimator_of(unit: str) -> str:
+        return info.get(unit, {}).get("estimator", "")
+
     merged = [
-        RoutedResult(index=result.index, route=route, query=result.query,
+        RoutedResult(index=result.index, route=relation_of(unit),
+                     query=result.query,
                      selectivity=result.selectivity,
                      cardinality=result.cardinality,
                      batch_index=result.batch_index, replica=replica,
                      queue_wait_ms=result.queue_wait_ms,
-                     e2e_ms=result.e2e_ms)
-        for route, reports in route_reports.items()
+                     e2e_ms=result.e2e_ms,
+                     estimator=estimator_of(unit))
+        for unit, reports in route_reports.items()
         for replica, report in enumerate(reports)
         for result in report.results
     ]
@@ -483,7 +573,8 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
         cached_by_route[result.route] = cached_by_route.get(result.route, 0) + 1
     routes_stats: dict[str, dict] = {}
     all_batches = []
-    for route, reports in route_reports.items():
+    for unit, reports in route_reports.items():
+        route = unit
         replica_stats = [report.stats for report in reports]
         elapsed_s = sum(stats.elapsed_s for stats in replica_stats)
         num_queries = sum(stats.num_queries for stats in replica_stats)
@@ -494,6 +585,8 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
         rows_submitted = sum(stats.rows_submitted for stats in replica_stats)
         unique_rows = sum(stats.unique_rows for stats in replica_stats)
         routes_stats[route] = {
+            "relation": relation_of(unit),
+            "estimator": estimator_of(unit),
             "num_queries": num_queries,
             "num_batches": sum(stats.num_batches for stats in replica_stats),
             "elapsed_s": elapsed_s,
@@ -525,6 +618,40 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
                                    for stats in replica_stats),
             "batch_trace": batch_traces.get(route),
         }
+    estimators_stats: dict[str, dict] | None = None
+    if unit_info is not None:
+        # Per-estimator latency columns: fold every unit one estimator
+        # served (a fallback may back several relations) into one row.
+        per_estimator: dict[str, dict] = {}
+        for unit, reports in route_reports.items():
+            entry = per_estimator.setdefault(estimator_of(unit), {
+                "units": [], "num_queries": 0, "elapsed_s": 0.0,
+                "batches": []})
+            entry["units"].append(unit)
+            entry["num_queries"] += routes_stats[unit]["num_queries"]
+            entry["elapsed_s"] += routes_stats[unit]["elapsed_s"]
+            entry["batches"].extend(record for report in reports
+                                    for record in report.batches)
+        if cached_results:
+            entry = per_estimator.setdefault("cache", {
+                "units": [], "num_queries": 0, "elapsed_s": 0.0,
+                "batches": []})
+            entry["num_queries"] += len(cached_results)
+        estimators_stats = {}
+        for name, entry in sorted(per_estimator.items()):
+            batches = entry["batches"]
+            _, batch_e2es = _per_query_latencies(batches)
+            estimators_stats[name] = {
+                "units": sorted(entry["units"]),
+                "num_queries": entry["num_queries"],
+                "elapsed_s": entry["elapsed_s"],
+                "queries_per_second": (entry["num_queries"] / entry["elapsed_s"]
+                                       if entry["elapsed_s"] > 0 else 0.0),
+                "latency_ms": latency_percentiles(
+                    [record.latency_ms for record in batches],
+                    weights=[record.num_queries for record in batches]),
+                "e2e_ms": latency_percentiles(batch_e2es),
+            }
     fleet_waits, fleet_e2es = _per_query_latencies(all_batches)
     stats = FleetStats(
         num_queries=len(merged),
@@ -551,6 +678,7 @@ def _merge_reports(route_reports: dict[str, list[EngineReport]], *,
                           for entry in routes_stats.values()),
         workers=workers,
         epochs=epochs,
+        estimators=estimators_stats,
         routes=routes_stats,
     )
     return FleetReport(results=merged, routes=route_reports, stats=stats)
@@ -666,6 +794,90 @@ class ReplicaGroup:
                 f"max_pending={bound}, overflow={self.overflow!r})")
 
 
+class _FallbackUnit:
+    """One direct-serving estimator behind a route — the ensemble's fallback.
+
+    Serves queries the route's primary estimator cannot (shapes outside its
+    capability set, disjunctions past Naru's expansion bound) by calling the
+    fallback estimator's own ``estimate_selectivity`` synchronously at
+    submission.  Fallback estimators are deterministic summaries (sampling,
+    histograms, ...) with no batched-sampler interface, so there is nothing
+    to micro-batch, cache or replicate: each query is its own dispatch,
+    ``queue_wait_ms`` is identically zero, and determinism needs no
+    per-query random stream.
+
+    Duck-types the slice of :class:`ReplicaGroup` the router's bookkeeping
+    walks (``engines``/``cache``/``shed``/``pending``/``peak_pending``,
+    ``submit``/``flush``/``reset``/``reports``), so groups and fallback
+    units live in one routing table keyed ``(route, role)``.
+    """
+
+    def __init__(self, route: str, estimator, *, num_rows: int, clock,
+                 result_sink=None) -> None:
+        self.route = route
+        self.estimator = estimator
+        self.num_rows = num_rows
+        self.clock = clock
+        self.result_sink = result_sink
+        #: Always empty: lets :meth:`FleetRouter.tick` and cache wipes walk
+        #: every serving unit uniformly.
+        self.engines: list[EstimationEngine] = []
+        self.cache = None
+        self.shed = 0
+        self.peak_pending = 0
+        self._results: list[EstimateResult] = []
+        self._batches: list[BatchRecord] = []
+        self._elapsed_s = 0.0
+
+    @property
+    def pending(self) -> int:
+        """Always zero: every submission is served before it returns."""
+        return 0
+
+    def submit(self, query: "Query | DNFQuery", index: int) -> int:
+        """Serve one query synchronously; returns the replica index (0)."""
+        start = self.clock()
+        selectivity = float(self.estimator.estimate_selectivity(query))
+        latency_ms = (self.clock() - start) * 1000.0
+        result = EstimateResult(
+            index=index, query=query, selectivity=selectivity,
+            cardinality=selectivity * self.num_rows,
+            batch_index=len(self._batches), queue_wait_ms=0.0,
+            e2e_ms=latency_ms)
+        self._results.append(result)
+        self._batches.append(BatchRecord(
+            batch_index=result.batch_index, num_queries=1,
+            latency_ms=latency_ms, queue_wait_ms=(0.0,)))
+        self._elapsed_s += latency_ms / 1000.0
+        if self.result_sink is not None:
+            self.result_sink(result)
+        return 0
+
+    def flush(self) -> None:
+        """No-op: nothing is ever queued."""
+
+    def reset(self) -> None:
+        """Start a fresh workload scope."""
+        self._results = []
+        self._batches = []
+        self._elapsed_s = 0.0
+        self.shed = 0
+
+    def reports(self) -> list[EngineReport]:
+        """One engine-shaped report, so fleet merging treats the unit as a
+        single-replica group with ``batch_size=1`` and no sampler rows."""
+        stats = EngineStats(num_queries=len(self._results),
+                            num_batches=len(self._batches),
+                            elapsed_s=self._elapsed_s, num_samples=0,
+                            batch_size=1)
+        return [EngineReport(results=list(self._results),
+                             batches=list(self._batches), stats=stats)]
+
+    def __repr__(self) -> str:
+        return (f"_FallbackUnit({self.route!r}, "
+                f"estimator={self.estimator.name!r})")
+
+
 class FleetRouter:
     """Route table-qualified queries to replicated per-model engines.
 
@@ -675,7 +887,10 @@ class FleetRouter:
         The model fleet.  Estimators are built and fitted lazily on the first
         query routed to them; call ``registry.fit_all()`` up front to keep
         training cost out of the serving path.  Each relation's replica count
-        comes from its registration (``register_table(..., replicas=N)``).
+        comes from its registration (``register_table(..., replicas=N)``), as
+        does its optional fallback estimator (``fallback=...``) — the second
+        ensemble member serving query shapes the primary cannot (see
+        :meth:`resolve_serving`).
     batch_size:
         Per-replica micro-batch capacity (each engine batches independently).
     num_samples:
@@ -778,13 +993,19 @@ class FleetRouter:
         self.flush_after_ms = flush_after_ms
         #: The shared clock of every engine, see the ``clock`` parameter.
         self.clock = clock if clock is not None else time.perf_counter
-        self._groups: dict[str, ReplicaGroup] = {}
-        #: Route -> ``registry.serving_epoch`` its group was materialised at.
-        #: A moved epoch (ingest or model swap) makes the group stale: it is
-        #: dropped at the next scope boundary and lazily rebuilt — with the
-        #: registry's current estimator and *fresh* conditional caches — so
-        #: an epoch bump invalidates every cache layer atomically.
-        self._group_epochs: dict[str, tuple[int, int]] = {}
+        #: ``(route, role)`` -> serving unit, role ``"primary"`` (a
+        #: :class:`ReplicaGroup` over the relation's registered estimator)
+        #: or ``"fallback"`` (a :class:`_FallbackUnit` over its registered
+        #: fallback estimator).  Both roles are materialised lazily on the
+        #: first query :meth:`resolve_serving` sends their way.
+        self._groups: dict[tuple[str, str], ReplicaGroup | _FallbackUnit] = {}
+        #: ``(route, role)`` -> ``registry.serving_epoch`` its unit was
+        #: materialised at.  A moved epoch (ingest or model swap) makes the
+        #: unit stale: it is dropped at the next scope boundary and lazily
+        #: rebuilt — with the registry's current estimator and *fresh*
+        #: conditional caches — so an epoch bump invalidates every cache
+        #: layer atomically.
+        self._group_epochs: dict[tuple[str, str], tuple[int, int]] = {}
         #: Per-result observer, see the ``on_result`` parameter above.
         self.on_result = on_result
         self._result_cache = (ResultCache(self.cache_entries_per_model)
@@ -830,7 +1051,7 @@ class FleetRouter:
         if self.on_result is not None:
             self.on_result(result)
 
-    def resolve_route(self, query: Query) -> str:
+    def resolve_route(self, query: "Query | DNFQuery") -> str:
         """The relation a query routes to; raises :class:`RoutingError` if none.
 
         Delegates to the module-level :func:`resolve_route` — the routing
@@ -838,14 +1059,54 @@ class FleetRouter:
         """
         return resolve_route(self.registry, query, self.default_route)
 
+    def resolve_serving(self, query: "Query | DNFQuery") -> tuple[str, str]:
+        """The ``(relation, role)`` pair that will answer one query.
+
+        Routing is two-staged: :meth:`resolve_route` names the relation,
+        then the query's shape (:func:`repro.query.shapes.query_shape`)
+        picks the ensemble member — the primary estimator when its
+        capability set covers the shape (and, for Naru, the disjunction
+        fits its expansion bound), otherwise the relation's registered
+        fallback estimator.  Conjunctive traffic therefore always lands on
+        the primary, exactly where it landed before the ensemble existed.
+
+        Raises:
+            RoutingError: When neither member can serve, naming the failing
+                shape, the primary's capabilities and every available route.
+        """
+        route = self.resolve_route(query)
+        if self.registry.can_serve(route, query):
+            return route, "primary"
+        fallback = self.registry.fallback(route)
+        if fallback is not None and fallback.can_serve(query):
+            return route, "fallback"
+        shape = query_shape(query)
+        capabilities = "|".join(sorted(
+            s.value for s in self.registry.capabilities(route)))
+        if fallback is None:
+            fallback_note = "no fallback estimator is registered"
+        else:
+            fallback_note = (f"its fallback {fallback.name!r} cannot serve "
+                             "it either")
+        available = ", ".join(
+            f"{name} [{'|'.join(sorted(s.value for s in self.registry.capabilities(name)))}"
+            f"{', fallback: ' + self.registry.fallback(name).name if self.registry.fallback(name) is not None else ''}]"
+            for name in self.registry.names)
+        raise RoutingError(
+            f"query {query!r} has shape {shape.value!r}, which relation "
+            f"{route!r} cannot serve: the primary estimator's capabilities "
+            f"are [{capabilities}] (disjunctions bounded at "
+            f"max_dnf_branches={self.registry._config_for(route).max_dnf_branches} "
+            f"branches) and {fallback_note}; available routes: {available}")
+
     def group(self, route: str) -> ReplicaGroup:
-        """The replica group of one route, materialised on first use.
+        """The primary replica group of one route, materialised on first use.
 
         Relations registered *after* the router was built are served too
         (their replica count is read from the registry on first use); only
         the cache-budget split stays fixed at its construction-time value.
         """
-        group = self._groups.get(route)
+        group = self._groups.get((route, "primary"))
         if group is None:
             replicas = self._replica_counts.get(route)
             if replicas is None:
@@ -853,7 +1114,7 @@ class FleetRouter:
                 self._replica_counts[route] = replicas
             estimator = self.registry.estimator(route)
 
-            def make_sink(replica, route=route):
+            def make_sink(replica, route=route, estimator_name=estimator.name):
                 # One closure per replica: dispatched results feed the fleet
                 # result cache (when enabled) and the on_result observer,
                 # tagged with the replica that computed them.
@@ -866,7 +1127,8 @@ class FleetRouter:
                             query=result.query,
                             selectivity=result.selectivity,
                             cardinality=result.cardinality,
-                            batch_index=result.batch_index, replica=replica))
+                            batch_index=result.batch_index, replica=replica,
+                            estimator=estimator_name))
                 return sink
 
             # One conditional cache for the whole group: the replicas share
@@ -897,10 +1159,47 @@ class FleetRouter:
                                  overflow=self.overflow, cache=shared_cache)
             if shared_cache is not None:
                 shared_cache.epoch = self.registry.data_epoch(route)
-            self._groups[route] = group
-            self._group_epochs[route] = self.registry.serving_epoch(route)
+            self._groups[(route, "primary")] = group
+            self._group_epochs[(route, "primary")] = \
+                self.registry.serving_epoch(route)
             self._group_created(route, group)
         return group
+
+    def fallback_unit(self, route: str) -> _FallbackUnit:
+        """The fallback serving unit of one route, materialised on first use.
+
+        Raises ``LookupError`` when the relation has no registered fallback
+        estimator — :meth:`resolve_serving` never sends a query here unless
+        one exists.
+        """
+        unit = self._groups.get((route, "fallback"))
+        if unit is None:
+            estimator = self.registry.fallback(route)
+            if estimator is None:
+                raise LookupError(f"relation {route!r} has no registered "
+                                  "fallback estimator")
+
+            def sink(result, route=route, estimator_name=estimator.name):
+                # Fallback answers feed the same result cache and observer
+                # as primary dispatches — a repeat of a fallback-served
+                # query is as cacheable as any other.
+                if self._result_cache is not None:
+                    self._feed_result(route, result)
+                if self.on_result is not None:
+                    self._emit(RoutedResult(
+                        index=result.index, route=route, query=result.query,
+                        selectivity=result.selectivity,
+                        cardinality=result.cardinality,
+                        batch_index=result.batch_index, replica=0,
+                        e2e_ms=result.e2e_ms, estimator=estimator_name))
+
+            unit = _FallbackUnit(route, estimator,
+                                 num_rows=self.registry.serving_rows(route),
+                                 clock=self.clock, result_sink=sink)
+            self._groups[(route, "fallback")] = unit
+            self._group_epochs[(route, "fallback")] = \
+                self.registry.serving_epoch(route)
+        return unit
 
     def _group_created(self, route: str, group: ReplicaGroup) -> None:
         """Subclass hook: a replica group was just materialised.
@@ -1008,11 +1307,15 @@ class FleetRouter:
 
         With the result cache enabled, an exact repeat of an already answered
         query is served from memory (it still consumes an index and appears
-        in the report, flagged ``replica=-1``).  Raises :class:`RoutingError`
-        or :class:`AdmissionError` (both without consuming an index) when the
-        query cannot be routed or admitted.
+        in the report, flagged ``replica=-1``).  A query whose shape the
+        route's primary estimator cannot serve goes to the relation's
+        fallback estimator instead (see :meth:`resolve_serving`) and is
+        answered synchronously — fallback summaries have no micro-batch to
+        wait for.  Raises :class:`RoutingError` or :class:`AdmissionError`
+        (both without consuming an index) when the query cannot be routed or
+        admitted.
         """
-        route = self.resolve_route(query)
+        route, role = self.resolve_serving(query)
         if self._result_cache is not None:
             # Consult the cache before materialising the route's group: a
             # hit must cost a dictionary lookup, not a lazy model build.
@@ -1031,12 +1334,13 @@ class FleetRouter:
                     index=index, route=route, query=query,
                     selectivity=selectivity,
                     cardinality=selectivity * num_rows,
-                    batch_index=-1, replica=-1)
+                    batch_index=-1, replica=-1, estimator="cache")
                 self._cached_results.append(result)
                 self._unreported_cached += 1
                 self._emit(result)
                 return route
-        group = self.group(route)
+        group = (self.group(route) if role == "primary"
+                 else self.fallback_unit(route))
         if index is None:
             index = self._next_index
         group.submit(query, index=index)  # may raise AdmissionError
@@ -1091,10 +1395,10 @@ class FleetRouter:
         # query routed there lazily rebuilds it around the registry's current
         # estimator with *fresh* conditional caches.  Doing this only at
         # scope boundaries makes the swap atomic per workload.
-        for route, built_at in list(self._group_epochs.items()):
+        for (route, role), built_at in list(self._group_epochs.items()):
             if self.registry.serving_epoch(route) != built_at:
-                del self._groups[route]
-                del self._group_epochs[route]
+                del self._groups[(route, role)]
+                del self._group_epochs[(route, role)]
         for group in self._groups.values():
             group.reset()
         self._cached_results = []
@@ -1107,8 +1411,16 @@ class FleetRouter:
         hit/miss counters (conditional and result caches alike) are lifetime
         numbers, because the caches themselves outlive scopes.
         """
-        route_reports = {route: group.reports()
-                         for route, group in self._groups.items()}
+        route_reports: dict[str, list[EngineReport]] = {}
+        unit_info: dict[str, dict] = {}
+        shed_by_unit: dict[str, int] = {}
+        for (route, role), group in self._groups.items():
+            unit = route if role == "primary" else f"{route}@fallback"
+            route_reports[unit] = group.reports()
+            estimator_name = (group.estimator.name if role == "fallback"
+                              else group.engines[0].estimator.name)
+            unit_info[unit] = {"relation": route, "estimator": estimator_name}
+            shed_by_unit[unit] = group.shed
         self._unreported_cached = 0
         result_cache_stats = (self._result_cache.stats.as_dict()
                               if self._result_cache is not None else None)
@@ -1117,11 +1429,11 @@ class FleetRouter:
             cache_entries_total=self.cache_entries,
             cache_entries_per_model=self.cache_entries_per_model,
             cached_results=list(self._cached_results),
-            shed_by_route={route: group.shed
-                           for route, group in self._groups.items()},
+            shed_by_route=shed_by_unit,
             result_cache_stats=result_cache_stats,
             batch_traces=self._batch_traces(),
-            epochs=self._epoch_report())
+            epochs=self._epoch_report(),
+            unit_info=unit_info)
 
     def _batch_traces(self) -> dict[str, list[int]]:
         """Per-route adaptive batch-size traces (empty on fixed routers)."""
@@ -1144,27 +1456,60 @@ def run_fleet_sequential(registry: ModelRegistry, queries: list[Query], *,
                          default_route: str | None = None) -> FleetReport:
     """N-independent-sequential-engines baseline for a mixed workload.
 
-    Routes the workload exactly like :class:`FleetRouter`, then answers each
-    relation's queries one at a time through :func:`run_sequential` — no
-    micro-batching, no caching, no replication, models visited one after
-    another.  Queries keep their global submission indices, so the estimates
-    match the fleet's for any replica count (up to float round-off); the
-    ``serve_multi`` and ``serve_replicated`` benchmarks report the throughput
-    ratio between the two.
+    Routes the workload exactly like :class:`FleetRouter` — including the
+    shape-based primary/fallback split of :meth:`FleetRouter.resolve_serving`
+    — then answers each primary unit's queries one at a time through
+    :func:`run_sequential` (no micro-batching, no caching, no replication,
+    models visited one after another) and each fallback unit's through the
+    fallback estimator's own deterministic ``estimate_selectivity``.
+    Queries keep their global submission indices, so the estimates match the
+    fleet's for any replica count (up to float round-off); the
+    ``serve_multi``, ``serve_replicated`` and ``serve_ensemble`` benchmarks
+    report the throughput ratio between the two.
     """
     router = FleetRouter(registry, batch_size=1, num_samples=num_samples,
                          use_cache=False, seed=seed, default_route=default_route)
-    per_route: dict[str, tuple[list[int], list[Query]]] = {}
+    per_unit: dict[tuple[str, str], tuple[list[int], list[Query]]] = {}
     for index, query in enumerate(queries):
-        route = router.resolve_route(query)
-        indices, routed = per_route.setdefault(route, ([], []))
+        serving = router.resolve_serving(query)
+        indices, routed = per_unit.setdefault(serving, ([], []))
         indices.append(index)
         routed.append(query)
-    route_reports = {
-        route: [run_sequential(registry.estimator(route), routed,
-                               num_samples=num_samples, seed=seed,
-                               indices=indices)]
-        for route, (indices, routed) in per_route.items()
-    }
+    route_reports: dict[str, list[EngineReport]] = {}
+    unit_info: dict[str, dict] = {}
+    for (route, role), (indices, routed) in per_unit.items():
+        if role == "primary":
+            estimator = registry.estimator(route)
+            route_reports[route] = [
+                run_sequential(estimator, routed, num_samples=num_samples,
+                               seed=seed, indices=indices)]
+            unit_info[route] = {"relation": route,
+                                "estimator": estimator.name}
+            continue
+        estimator = registry.fallback(route)
+        num_rows = registry.serving_rows(route)
+        results: list[EstimateResult] = []
+        batches: list[BatchRecord] = []
+        elapsed_s = 0.0
+        for position, (index, query) in enumerate(zip(indices, routed)):
+            start = time.perf_counter()
+            selectivity = float(estimator.estimate_selectivity(query))
+            latency_ms = (time.perf_counter() - start) * 1000.0
+            elapsed_s += latency_ms / 1000.0
+            results.append(EstimateResult(
+                index=index, query=query, selectivity=selectivity,
+                cardinality=selectivity * num_rows, batch_index=position,
+                queue_wait_ms=0.0, e2e_ms=latency_ms))
+            batches.append(BatchRecord(
+                batch_index=position, num_queries=1, latency_ms=latency_ms,
+                queue_wait_ms=(0.0,)))
+        stats = EngineStats(num_queries=len(results),
+                            num_batches=len(batches), elapsed_s=elapsed_s,
+                            num_samples=0, batch_size=1)
+        unit = f"{route}@fallback"
+        route_reports[unit] = [EngineReport(results=results, batches=batches,
+                                            stats=stats)]
+        unit_info[unit] = {"relation": route, "estimator": estimator.name}
     return _merge_reports(route_reports, num_models=len(registry),
-                          cache_entries_total=0, cache_entries_per_model=0)
+                          cache_entries_total=0, cache_entries_per_model=0,
+                          unit_info=unit_info)

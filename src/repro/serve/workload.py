@@ -32,11 +32,33 @@ replayed bit-for-bit later or on another machine.  Two formats are understood:
         ]
       }
 
+* **Version 3** (query shapes) extends the version-2 object form with
+  disjunctive queries: a :class:`~repro.query.predicates.DNFQuery`
+  serialises as an object with a ``"branches"`` list (one predicate list
+  per conjunctive branch) instead of ``"predicates"``.  ``LIKE`` prefix
+  predicates need no structural change — they are ordinary
+  ``[column, "like", "prefix%"]`` triples — but their presence also
+  promotes a file to version 3, so older readers fail loudly on a format
+  they cannot replay rather than silently mis-parsing it::
+
+      {
+        "version": 3,
+        "queries": [
+          {"table": "dmv", "branches": [[["state", "=", "state_3"]],
+                                        [["color", "like", "bl%"]]]},
+          {"table": "census", "predicates": [["age", "<=", 40]]},
+          ...
+        ]
+      }
+
 :func:`save_workload` writes version 1 when no query carries a qualifier
-(bit-identical to the files older releases wrote) and version 2 otherwise;
-:func:`load_workload` reads both.  Values are stored as plain JSON scalars;
-``IN`` predicates store a list of values and ``BETWEEN`` predicates store a
-two-element ``[low, high]`` list.
+(bit-identical to the files older releases wrote), version 2 when queries
+are qualified, and version 3 only when a disjunction or a ``LIKE`` appears;
+:func:`load_workload` reads all three.  Values are stored as plain JSON
+scalars; ``IN`` predicates store a canonically sorted list of values (so
+equal queries serialise byte-identically regardless of the set iteration
+order they were built with) and ``BETWEEN`` predicates store a two-element
+``[low, high]`` list.
 """
 
 from __future__ import annotations
@@ -48,14 +70,16 @@ import numpy as np
 
 from ..data.table import Table
 from ..query.generator import WorkloadGenerator
-from ..query.predicates import Operator, Predicate, Query
+from ..query.predicates import (DNFQuery, Operator, Predicate, Query,
+                                canonical_in_values)
 
 __all__ = ["save_workload", "load_workload", "queries_to_specs",
            "specs_to_queries", "generate_mixed_workload",
-           "generate_bursty_workload"]
+           "generate_bursty_workload", "generate_shape_workload"]
 
 _FORMAT_VERSION = 1
 _MULTI_FORMAT_VERSION = 2
+_SHAPE_FORMAT_VERSION = 3
 
 
 def _json_value(value: object) -> object:
@@ -68,44 +92,79 @@ def _json_value(value: object) -> object:
 
 
 def _predicate_specs(query: Query) -> list[list]:
-    return [[predicate.column, predicate.operator.value, _json_value(predicate.value)]
-            for predicate in query]
+    specs = []
+    for predicate in query.predicates:
+        value = predicate.value
+        if predicate.operator is Operator.IN:
+            # Canonical order: IN values are built from sets, whose
+            # iteration order varies across processes — sorting here makes
+            # equal queries serialise byte-identically on every run.
+            value = canonical_in_values(value)
+        specs.append([predicate.column, predicate.operator.value,
+                      _json_value(value)])
+    return specs
 
 
-def queries_to_specs(queries: list[Query]) -> list:
+def queries_to_specs(queries: list["Query | DNFQuery"]) -> list:
     """Plain-data representation of a list of queries.
 
-    Unqualified queries serialise to the version-1 predicate-list form; a
-    query with a ``table`` qualifier serialises to the version-2 object form.
+    Unqualified conjunctive queries serialise to the version-1
+    predicate-list form; a query with a ``table`` qualifier serialises to
+    the version-2 object form; a :class:`DNFQuery` serialises to the
+    version-3 ``"branches"`` object form.
     """
-    return [{"table": query.table, "predicates": _predicate_specs(query)}
-            if query.table is not None else _predicate_specs(query)
-            for query in queries]
+    specs = []
+    for query in queries:
+        if isinstance(query, DNFQuery):
+            spec = {}
+            if query.table is not None:
+                spec["table"] = query.table
+            spec["branches"] = [_predicate_specs(branch)
+                                for branch in query.branches]
+            specs.append(spec)
+        elif query.table is not None:
+            specs.append({"table": query.table,
+                          "predicates": _predicate_specs(query)})
+        else:
+            specs.append(_predicate_specs(query))
+    return specs
 
 
-def specs_to_queries(specs: list, default_table: str | None = None) -> list[Query]:
+def _parse_predicates(predicate_specs: list) -> list[Predicate]:
+    predicates = []
+    for column, operator, value in predicate_specs:
+        operator = Operator(operator)
+        if operator is Operator.BETWEEN:
+            low, high = value
+            value = (low, high)
+        predicates.append(Predicate(column, operator, value))
+    return predicates
+
+
+def specs_to_queries(specs: list,
+                     default_table: str | None = None) -> list["Query | DNFQuery"]:
     """Rebuild queries from their plain-data representation.
 
-    Accepts both spec forms: a bare predicate list (version 1) and an object
-    with ``"table"`` and ``"predicates"`` keys (version 2).  ``default_table``
-    qualifies the queries whose spec does not name a relation itself.
+    Accepts all three spec forms: a bare predicate list (version 1), an
+    object with ``"table"`` and ``"predicates"`` keys (version 2) and an
+    object with a ``"branches"`` list of predicate lists (version 3, a
+    :class:`DNFQuery`).  ``default_table`` qualifies the queries whose spec
+    does not name a relation itself.
     """
-    queries = []
+    queries: list[Query | DNFQuery] = []
     for spec in specs:
         if isinstance(spec, dict):
             table = spec.get("table") or default_table
+            if "branches" in spec:
+                queries.append(DNFQuery(
+                    [Query(_parse_predicates(branch))
+                     for branch in spec["branches"]], table=table))
+                continue
             predicate_specs = spec["predicates"]
         else:
             table = default_table
             predicate_specs = spec
-        predicates = []
-        for column, operator, value in predicate_specs:
-            operator = Operator(operator)
-            if operator is Operator.BETWEEN:
-                low, high = value
-                value = (low, high)
-            predicates.append(Predicate(column, operator, value))
-        queries.append(Query(predicates, table=table))
+        queries.append(Query(_parse_predicates(predicate_specs), table=table))
     return queries
 
 
@@ -260,18 +319,122 @@ def generate_bursty_workload(relations: Mapping[str, Table], num_queries: int, *
     return arranged
 
 
-def save_workload(path: str, queries: list[Query],
+def generate_shape_workload(relations: Mapping[str, Table], num_queries: int, *,
+                            dnf_fraction: float = 0.25,
+                            like_fraction: float = 0.25,
+                            dnf_branches: int | tuple[int, ...] = 2,
+                            min_filters: int = 2, max_filters: int = 5,
+                            seed: int = 0,
+                            weights: Mapping[str, float] | None = None
+                            ) -> list["Query | DNFQuery"]:
+    """Generate a mixed-shape workload: conjunctions, disjunctions, prefixes.
+
+    Starts from :func:`generate_mixed_workload` (same relations, counts,
+    interleave and per-relation determinism) and rewrites deterministic,
+    evenly spread positions into the widened query language:
+
+    * a ``dnf_fraction`` share becomes :class:`DNFQuery` disjunctions — the
+      original conjunction as the first branch plus extra branches drawn
+      from an auxiliary per-relation generator, so the branch predicates
+      are real domain values;
+    * a ``like_fraction`` share becomes single-predicate ``LIKE 'x%'``
+      prefix queries over a sampled categorical value of a string column
+      (positions over relations without string columns keep their original
+      conjunction — the share is a target, not a guarantee, and the
+      ``serve_ensemble`` benchmark reports the realised mix).
+
+    ``dnf_branches`` fixes the branch count, or, given a tuple, draws it
+    per query — mixing counts on both sides of
+    ``NaruConfig.max_dnf_branches`` is how the ensemble benchmark exercises
+    inclusion–exclusion and fallback routing in one workload.  Everything is
+    keyed off ``seed`` alone, so a workload is reproducible from its knobs.
+    """
+    for name, fraction in (("dnf_fraction", dnf_fraction),
+                           ("like_fraction", like_fraction)):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {fraction}")
+    if dnf_fraction + like_fraction > 1.0:
+        raise ValueError("dnf_fraction + like_fraction must not exceed 1")
+    branch_counts = ((dnf_branches,) if isinstance(dnf_branches, int)
+                     else tuple(dnf_branches))
+    if not branch_counts or min(branch_counts) < 2:
+        raise ValueError(f"dnf_branches must be >= 2 (a one-branch DNF is a "
+                         f"conjunction), got {dnf_branches!r}")
+    base = generate_mixed_workload(relations, num_queries,
+                                   min_filters=min_filters,
+                                   max_filters=max_filters, seed=seed,
+                                   weights=weights)
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(0x5AFE,)))
+    positions = rng.permutation(len(base))
+    num_dnf = round(len(base) * dnf_fraction)
+    num_like = round(len(base) * like_fraction)
+    dnf_positions = set(positions[:num_dnf].tolist())
+    like_positions = set(positions[num_dnf:num_dnf + num_like].tolist())
+    names = list(relations)
+    # Extra DNF branches come from a second, independently seeded generator
+    # per relation, so they never perturb the base workload's draws.
+    aux_generators: dict[str, WorkloadGenerator] = {}
+
+    def extra_branch(table_name: str) -> Query:
+        generator = aux_generators.get(table_name)
+        if generator is None:
+            relation = relations[table_name]
+            generator = WorkloadGenerator(
+                relation, min_filters=1,
+                max_filters=min(2, relation.num_columns),
+                seed=seed + 7919 + names.index(table_name))
+            aux_generators[table_name] = generator
+        return generator.generate(1)[0]
+
+    workload: list[Query | DNFQuery] = []
+    for position, query in enumerate(base):
+        if position in dnf_positions:
+            count = int(rng.choice(branch_counts))
+            branches = [Query(query.predicates)] + \
+                [extra_branch(query.table) for _ in range(count - 1)]
+            workload.append(DNFQuery(branches, table=query.table))
+            continue
+        if position in like_positions:
+            relation = relations[query.table]
+            string_columns = [column for column in relation.columns
+                              if not column.is_numeric]
+            if string_columns:
+                column = string_columns[int(rng.integers(len(string_columns)))]
+                value = str(column.domain[int(rng.integers(column.domain_size))])
+                prefix = value[:int(rng.integers(1, len(value) + 1))]
+                workload.append(Query(
+                    [Predicate(column.name, Operator.LIKE, prefix + "%")],
+                    table=query.table))
+                continue
+        workload.append(query)
+    return workload
+
+
+def save_workload(path: str, queries: list["Query | DNFQuery"],
                   table_name: str | None = None) -> None:
     """Write a workload file that :func:`load_workload` can replay.
 
     ``table_name`` records the default relation of the workload.  The file is
     written in the version-1 single-relation format unless at least one query
-    carries its own ``table`` qualifier, in which case the version-2
-    multi-relation format is used.
+    carries its own ``table`` qualifier (version 2) or uses the widened query
+    language — a disjunction or a ``LIKE`` prefix — which promotes the file
+    to version 3.  Workloads older releases could write therefore keep their
+    old version numbers byte for byte.
     """
+    shaped = any(
+        isinstance(query, DNFQuery)
+        or any(predicate.operator is Operator.LIKE for predicate in query)
+        for query in queries)
     multi = any(query.table is not None for query in queries)
+    if shaped:
+        version = _SHAPE_FORMAT_VERSION
+    elif multi:
+        version = _MULTI_FORMAT_VERSION
+    else:
+        version = _FORMAT_VERSION
     document = {
-        "version": _MULTI_FORMAT_VERSION if multi else _FORMAT_VERSION,
+        "version": version,
         "table": table_name,
         "queries": queries_to_specs(queries),
     }
@@ -307,7 +470,8 @@ def load_workload(path: str, expected_table: str | None = None) -> list[Query]:
     with open(path) as handle:
         document = json.load(handle)
     version = document.get("version")
-    if version not in (_FORMAT_VERSION, _MULTI_FORMAT_VERSION):
+    if version not in (_FORMAT_VERSION, _MULTI_FORMAT_VERSION,
+                       _SHAPE_FORMAT_VERSION):
         raise ValueError(f"unsupported workload file version {version!r}")
     recorded = document.get("table")
     if expected_table is not None and recorded is not None \
